@@ -1,0 +1,178 @@
+package hetero2pipe_test
+
+import (
+	"testing"
+
+	"hetero2pipe/internal/baseline"
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/experiments"
+	"hetero2pipe/internal/lap"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// benchExperiment runs one paper artefact per iteration at quick scale, so
+// `go test -bench .` regenerates every table and figure.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatalf("Run(%s): %v", id, err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (DESIGN.md §3 index).
+
+func BenchmarkFig1SoloLatency(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig2aQueueing(b *testing.B)       { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bCounters(b *testing.B)       { benchExperiment(b, "fig2b") }
+func BenchmarkTable2Slowdown(b *testing.B)      { benchExperiment(b, "tab2") }
+func BenchmarkEq1Ridge(b *testing.B)            { benchExperiment(b, "eq1") }
+func BenchmarkFig7Overall(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8aAblationSearch(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bComponents(b *testing.B)     { benchExperiment(b, "fig8b") }
+func BenchmarkFig9MemoryTrace(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10IntraCluster(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig12BubbleLatency(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13Batching(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkSearchSpaceCounting(b *testing.B) { benchExperiment(b, "searchspace") }
+
+// Micro-benchmarks of the planner's building blocks.
+
+func benchProfiles(b *testing.B, names ...string) (*soc.SoC, []*profile.Profile) {
+	b.Helper()
+	s := soc.Kirin990()
+	out := make([]*profile.Profile, len(names))
+	for i, n := range names {
+		p, err := profile.New(s, model.MustByName(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = p
+	}
+	return s, out
+}
+
+func BenchmarkProfileConstruction(b *testing.B) {
+	s := soc.Kirin990()
+	m := model.MustByName(model.ResNet50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.New(s, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionDP(b *testing.B) {
+	_, profs := benchProfiles(b, model.BERT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Partition(profs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionFastDP(b *testing.B) {
+	_, profs := benchProfiles(b, model.BERT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.PartitionFast(profs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerEndToEnd(b *testing.B) {
+	s, profs := benchProfiles(b, model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50)
+	pl, err := core.NewPlanner(s, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanProfiles(profs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorContention(b *testing.B) {
+	s, profs := benchProfiles(b, model.ResNet50, model.VGG16, model.SqueezeNet, model.InceptionV4)
+	pl, err := core.NewPlanner(s, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := pl.PlanProfiles(profs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHungarianLAP(b *testing.B) {
+	const n = 32
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = float64((i*7+j*13)%97) + 1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := lap.Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBandPlanning(b *testing.B) {
+	s, profs := benchProfiles(b, model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Band(s, profs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppBThermal(b *testing.B)          { benchExperiment(b, "appB") }
+func BenchmarkClusterSplitAblation(b *testing.B) { benchExperiment(b, "clustersplit") }
+
+func BenchmarkAppDBatching(b *testing.B) { benchExperiment(b, "appD") }
+
+func BenchmarkEnergyExtension(b *testing.B) { benchExperiment(b, "energy") }
+
+func BenchmarkSensitivitySweeps(b *testing.B) { benchExperiment(b, "sensitivity") }
+
+func BenchmarkDepthAblation(b *testing.B) { benchExperiment(b, "depth") }
+
+func BenchmarkPartitionParametric(b *testing.B) {
+	_, profs := benchProfiles(b, model.BERT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.PartitionParametric(profs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

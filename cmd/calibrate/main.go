@@ -1,0 +1,52 @@
+// Command calibrate prints the contention footprints of every zoo model and
+// the co-execution slowdowns of the paper's reference pairs next to the
+// published numbers — the tool used to tune the slowdown-model constants in
+// internal/contention and internal/soc.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero2pipe/internal/contention"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/perf"
+	"hetero2pipe/internal/soc"
+)
+
+func main() {
+	k := soc.Kirin990()
+	big := k.Processor("cpu-big")
+	gpu := k.Processor("gpu")
+	npu := k.Processor("npu")
+	type row struct {
+		name string
+		fp   contention.Footprint
+		gfp  contention.Footprint
+		c    perf.Counters
+	}
+	var rows []row
+	for _, m := range model.All() {
+		rows = append(rows, row{m.Name, contention.Measure(big, m), contention.Measure(gpu, m), perf.Profile(big, m)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].fp.DemandGBps > rows[j].fp.DemandGBps })
+	fmt.Println("=== footprints on Kirin990 (sorted by CPU_B demand) ===")
+	for _, r := range rows {
+		fmt.Printf("%-12s CPU: d=%5.2f s=%.2f | GPU: d=%5.2f s=%.2f | IPC=%.2f miss=%.2f stall=%.2f\n",
+			r.name, r.fp.DemandGBps, r.fp.Sensitivity, r.gfp.DemandGBps, r.gfp.Sensitivity,
+			r.c.IPC, r.c.CacheMissRate, r.c.StalledBackend)
+	}
+	pair := func(label string, pa *soc.Processor, ma string, pb *soc.Processor, mb string, want string) {
+		a, b := contention.PairSlowdowns(k.BusBandwidthGBps,
+			contention.Measure(pa, model.MustByName(ma)),
+			contention.Measure(pb, model.MustByName(mb)))
+		fmt.Printf("%-28s %5.1f%% / %5.1f%%   (paper %s)\n", label, a*100, b*100, want)
+	}
+	fmt.Println()
+	pair("YOLO(CPU)+BERT(GPU)", big, model.YOLOv4, gpu, model.BERT, "18/21")
+	pair("YOLO(CPU)+ResNet(NPU)", big, model.YOLOv4, npu, model.ResNet50, "3/4.5")
+	pair("YOLO(GPU)+ResNet(NPU)", gpu, model.YOLOv4, npu, model.ResNet50, "2/2.3")
+	pair("SqueezeNet(CPU)+BERT(GPU)", big, model.SqueezeNet, gpu, model.BERT, "26/11")
+	pair("ViT(CPU)+BERT(GPU)", big, model.ViT, gpu, model.BERT, "11/9")
+	pair("BERT(CPU)+ViT(GPU)", big, model.BERT, gpu, model.ViT, "10.8/9.4")
+}

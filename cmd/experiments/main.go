@@ -1,0 +1,103 @@
+// Command experiments regenerates the paper's tables and figures as text
+// reports. With no flags it runs everything at paper scale; -run selects a
+// single experiment, -quick shrinks workloads for a fast pass.
+//
+// Usage:
+//
+//	experiments [-run fig7] [-quick] [-combos 100] [-seed 2025] [-list]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"hetero2pipe/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only   = fs.String("run", "", "run only this experiment ID (see -list)")
+		quick  = fs.Bool("quick", false, "reduced workload sizes")
+		combos = fs.Int("combos", 0, "random combinations for fig7/fig8 (default: 100, or 8 with -quick)")
+		seed   = fs.Int64("seed", 2025, "random seed")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		csvDir = fs.String("csv", "", "also write each experiment's metrics as <dir>/<id>.csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-12s %s\n", id, experiments.Title(id))
+		}
+		return nil
+	}
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *combos > 0 {
+		cfg.Combos = *combos
+	}
+
+	ids := experiments.IDs()
+	if *only != "" {
+		ids = []string{*only}
+	}
+	for _, id := range ids {
+		report, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(report.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, report); err != nil {
+				return fmt.Errorf("%s: csv: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSV dumps a report's metrics as "<dir>/<id>.csv" with a
+// metric,value header.
+func writeCSV(dir string, report *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, report.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"metric", "value"}); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(report.Metrics))
+	for k := range report.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := w.Write([]string{k, strconv.FormatFloat(report.Metrics[k], 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "fig10"}); err != nil {
+		t.Fatalf("run fig10: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "searchspace", "-csv", dir}); err != nil {
+		t.Fatalf("run with -csv: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "searchspace.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("csv empty")
+	}
+}
+
+func TestRunCombosOverride(t *testing.T) {
+	if err := run([]string{"-quick", "-combos", "2", "-run", "fig8b"}); err != nil {
+		t.Fatalf("run with -combos: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+// Command h2pipe plans and simulates a multi-DNN pipeline on a chosen SoC
+// preset: it runs the Hetero²Pipe planner over the requested models, prints
+// the resulting schedule, executes it under the co-execution slowdown model
+// and reports latency, throughput and the speedup over serial CPU execution.
+//
+// Usage:
+//
+//	h2pipe -soc Kirin990 -models YOLOv4,BERT,SqueezeNet,ResNet50
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetero2pipe/internal/baseline"
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/trace"
+	"hetero2pipe/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "h2pipe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("h2pipe", flag.ContinueOnError)
+	var (
+		socName    = fs.String("soc", "Kirin990", "SoC preset: Kirin990, Snapdragon778G, Snapdragon870")
+		socJSON    = fs.String("soc-json", "", "load a custom SoC description from a JSON file (overrides -soc)")
+		modelsFlag = fs.String("models", "YOLOv4,SqueezeNet,BERT,ResNet50", "comma-separated zoo model names")
+		listModels = fs.Bool("list-models", false, "list zoo models and exit")
+		noMit      = fs.Bool("no-mitigation", false, "disable contention mitigation")
+		noSteal    = fs.Bool("no-worksteal", false, "disable work stealing")
+		noTail     = fs.Bool("no-tailopt", false, "disable tail optimisation")
+		showPlan   = fs.Bool("plan", true, "print the per-request stage assignment")
+		ganttWidth = fs.Int("gantt", 72, "ASCII timeline width (0 disables)")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON file of the execution")
+		htmlOut    = fs.String("html", "", "write a standalone HTML report (SVG Gantt + metrics)")
+		compare    = fs.Bool("compare", false, "run every scheme (MNN, Pipe-it, Band, No-C/T, H²P) and print a comparison table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listModels {
+		for _, n := range append(model.Names(), model.ExtraNames()...) {
+			m := model.MustByName(n)
+			fmt.Printf("%-12s %4d layers %8.2f GFLOPs %7.1f MB weights\n",
+				n, m.NumLayers(), m.TotalFLOPs()/1e9, float64(m.TotalWeightBytes())/1e6)
+		}
+		return nil
+	}
+	var s *soc.SoC
+	if *socJSON != "" {
+		data, err := os.ReadFile(*socJSON)
+		if err != nil {
+			return err
+		}
+		s = new(soc.SoC)
+		if err := json.Unmarshal(data, s); err != nil {
+			return fmt.Errorf("parsing %s: %w", *socJSON, err)
+		}
+	} else {
+		s = soc.PresetByName(*socName)
+		if s == nil {
+			return fmt.Errorf("unknown SoC preset %q", *socName)
+		}
+	}
+	names := strings.Split(*modelsFlag, ",")
+	models, err := workload.Instantiate(names)
+	if err != nil {
+		return err
+	}
+
+	if *compare {
+		return runComparison(s, models)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Mitigation = !*noMit
+	opts.WorkStealing = !*noSteal
+	opts.TailOptimization = !*noTail
+	planner, err := core.NewPlanner(s, opts)
+	if err != nil {
+		return err
+	}
+	plan, err := planner.PlanModels(models)
+	if err != nil {
+		return err
+	}
+	res, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("SoC: %s (%d processors)\n", s.Name, s.NumProcessors())
+	if *showPlan {
+		fmt.Println("\nplanned pipeline (requests in execution order):")
+		for i := range plan.Schedule.Profiles {
+			m := plan.Schedule.Profiles[i].Model()
+			fmt.Printf("  %2d. %-12s [%s, intensity %.2f GB/s] stages:", i+1, m.Name,
+				plan.Classes[i], plan.Intensities[i])
+			for k := 0; k < plan.Schedule.NumStages(); k++ {
+				r := plan.Schedule.Stages[i][k]
+				if r.Empty() {
+					continue
+				}
+				fmt.Printf(" %s=[%d..%d]", s.Processors[k].ID, r.From, r.To)
+			}
+			fmt.Println()
+		}
+		fmt.Println("\nexecution timeline (first 12 slices):")
+		for j, e := range res.Timeline {
+			if j >= 12 {
+				fmt.Printf("  ... %d more\n", len(res.Timeline)-12)
+				break
+			}
+			m := plan.Schedule.Profiles[e.Request].Model()
+			fmt.Printf("  %-12s on %-9s %8.2fms → %8.2fms (slowdown %.2f×)\n",
+				m.Name, s.Processors[e.Stage].ID,
+				e.Start.Seconds()*1e3, e.End.Seconds()*1e3, e.Slowdown)
+		}
+	}
+
+	// Serial MNN reference.
+	profiles := plan.Schedule.Profiles
+	serialSched, err := baseline.SerialMNN(s, profiles)
+	if err != nil {
+		return err
+	}
+	serial, err := pipeline.Execute(serialSched, pipeline.DefaultOptions())
+	if err != nil {
+		return err
+	}
+
+	if *ganttWidth > 0 {
+		fmt.Println()
+		fmt.Print(trace.Gantt(plan.Schedule, res, *ganttWidth))
+	}
+
+	fmt.Printf("\nlatency:            %8.2f ms\n", res.Makespan.Seconds()*1e3)
+	fmt.Printf("throughput:         %8.2f inferences/s\n", res.Throughput())
+	fmt.Printf("measured bubbles:   %8.2f ms\n", res.BubbleTime.Seconds()*1e3)
+	fmt.Printf("peak memory:        %8.1f MB\n", float64(res.PeakMemoryBytes)/1e6)
+	fmt.Printf("energy:             %8.2f J (%.2f J/inference)\n",
+		res.EnergyJoules, res.EnergyPerInference())
+	fmt.Printf("serial CPU latency: %8.2f ms  (speedup %.2f×, energy %.2f J)\n",
+		serial.Makespan.Seconds()*1e3,
+		serial.Makespan.Seconds()/res.Makespan.Seconds(),
+		serial.EnergyJoules)
+
+	if *traceOut != "" {
+		data, err := trace.ChromeTrace(plan.Schedule, res)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *htmlOut != "" {
+		title := fmt.Sprintf("Hetero²Pipe on %s: %s", s.Name, *modelsFlag)
+		page, err := trace.HTMLReport(title, plan.Schedule, res)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*htmlOut, page, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote HTML report to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+// runComparison executes every scheme over the same requests and prints the
+// Fig. 7-style side-by-side table.
+func runComparison(s *soc.SoC, models []*model.Model) error {
+	profiles := make([]*profile.Profile, len(models))
+	for i, m := range models {
+		p, err := profile.New(s, m)
+		if err != nil {
+			return err
+		}
+		profiles[i] = p
+	}
+	type scheme struct {
+		name  string
+		build func() (*pipeline.Schedule, error)
+	}
+	schemes := []scheme{
+		{"MNN (serial)", func() (*pipeline.Schedule, error) { return baseline.SerialMNN(s, profiles) }},
+		{"Pipe-it", func() (*pipeline.Schedule, error) { return baseline.PipeIt(s, profiles) }},
+		{"Band", func() (*pipeline.Schedule, error) { return baseline.Band(s, profiles) }},
+		{"H²P (No C/T)", func() (*pipeline.Schedule, error) {
+			pl, err := core.NewPlanner(s, core.NoCTOptions())
+			if err != nil {
+				return nil, err
+			}
+			plan, err := pl.PlanProfiles(profiles)
+			if err != nil {
+				return nil, err
+			}
+			return plan.Schedule, nil
+		}},
+		{"Hetero²Pipe", func() (*pipeline.Schedule, error) {
+			pl, err := core.NewPlanner(s, core.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			plan, err := pl.PlanProfiles(profiles)
+			if err != nil {
+				return nil, err
+			}
+			return plan.Schedule, nil
+		}},
+	}
+	fmt.Printf("%s, %d requests:\n", s.Name, len(models))
+	fmt.Printf("%-14s %12s %14s %10s %12s\n", "scheme", "latency", "throughput", "energy", "peak mem")
+	for _, sc := range schemes {
+		sched, err := sc.build()
+		if err != nil {
+			fmt.Printf("%-14s %12s\n", sc.name, "n/a ("+err.Error()+")")
+			continue
+		}
+		res, err := pipeline.Execute(sched, pipeline.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %10.1fms %11.2f/s %9.2fJ %10.1fMB\n",
+			sc.name, res.Makespan.Seconds()*1e3, res.Throughput(),
+			res.EnergyJoules, float64(res.PeakMemoryBytes)/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetero2pipe/internal/soc"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-models", "ResNet50,SqueezeNet", "-plan=false", "-gantt", "0"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunListModels(t *testing.T) {
+	if err := run([]string{"-list-models"}); err != nil {
+		t.Fatalf("run -list-models: %v", err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := run([]string{"-compare", "-models", "ResNet50,BERT"}); err != nil {
+		t.Fatalf("run -compare: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-soc", "NoSuchChip"},
+		{"-models", "NoSuchNet"},
+		{"-soc-json", "/nonexistent/path.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): nil error", args)
+		}
+	}
+}
+
+func TestRunArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	htmlPath := filepath.Join(dir, "report.html")
+	err := run([]string{"-models", "ResNet50,SqueezeNet", "-plan=false", "-gantt", "0",
+		"-trace", tracePath, "-html", htmlPath})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traceData, &events); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatalf("html not written: %v", err)
+	}
+	if !strings.Contains(string(html), "<svg") {
+		t.Error("html report missing SVG")
+	}
+}
+
+func TestRunCustomSoCJSON(t *testing.T) {
+	dir := t.TempDir()
+	custom := soc.Kirin990()
+	custom.Name = "FileChip"
+	data, err := json.Marshal(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "soc.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-soc-json", path, "-models", "SqueezeNet", "-plan=false", "-gantt", "0"}); err != nil {
+		t.Fatalf("run with custom SoC: %v", err)
+	}
+}

@@ -1,0 +1,12 @@
+// Package hetero2pipe reproduces "Hetero²Pipe: Pipelining Multi-DNN
+// Inference on Heterogeneous Mobile Processors under Co-Execution Slowdown"
+// (ICDCS 2025) as a pure-Go library: a mobile-SoC simulation substrate
+// (internal/soc, internal/model, internal/contention, internal/perf), the
+// two-step pipeline planner that is the paper's contribution
+// (internal/core), an event-driven pipeline executor (internal/pipeline),
+// the evaluation baselines (internal/baseline) and the experiment harness
+// regenerating every table and figure (internal/experiments, cmd/experiments).
+//
+// See README.md for a tour and DESIGN.md for the system inventory and
+// per-experiment index.
+package hetero2pipe

@@ -1,0 +1,3 @@
+module hetero2pipe
+
+go 1.22

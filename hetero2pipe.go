@@ -1,0 +1,165 @@
+package hetero2pipe
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stream"
+	"hetero2pipe/internal/trace"
+)
+
+// This file is the library facade: the handful of calls most users need,
+// wrapping the internal packages. Power users can reach the full machinery
+// through the internal packages directly (this module is self-contained),
+// but System covers the common flows: plan a request set, execute it under
+// the co-execution slowdown model, run an online stream, export traces.
+
+// System couples one SoC with a configured planner.
+type System struct {
+	soc     *soc.SoC
+	planner *core.Planner
+}
+
+// Options re-exports the planner configuration.
+type Options = core.Options
+
+// DefaultOptions returns the full Hetero²Pipe configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewSystem builds a System for a preset SoC name ("Kirin990",
+// "Snapdragon778G", "Snapdragon870", "Snapdragon8Gen2", "Dimensity9200").
+func NewSystem(preset string, opts Options) (*System, error) {
+	s := soc.PresetByName(preset)
+	if s == nil {
+		return nil, fmt.Errorf("hetero2pipe: unknown SoC preset %q", preset)
+	}
+	return NewSystemFor(s, opts)
+}
+
+// NewSystemFor builds a System for a custom SoC description.
+func NewSystemFor(s *soc.SoC, opts Options) (*System, error) {
+	if s == nil {
+		return nil, errors.New("hetero2pipe: nil SoC")
+	}
+	planner, err := core.NewPlanner(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{soc: s, planner: planner}, nil
+}
+
+// SoC returns the system's SoC description.
+func (sys *System) SoC() *soc.SoC { return sys.soc }
+
+// Models lists the built-in network names: the ten-model evaluation zoo
+// followed by the application extras.
+func Models() []string {
+	return append(model.Names(), model.ExtraNames()...)
+}
+
+// Result summarises one planned-and-executed request set.
+type Result struct {
+	// Latency is the completion time of the last request.
+	Latency time.Duration
+	// Throughput is completed inferences per second.
+	Throughput float64
+	// EnergyJoules prices the run under the per-processor power model.
+	EnergyJoules float64
+	// PeakMemoryBytes is the maximum resident inference memory.
+	PeakMemoryBytes int64
+	// Plan and Execution expose the underlying artefacts for inspection
+	// (stage assignments, timeline, memory traces).
+	Plan      *core.Plan
+	Execution *pipeline.Result
+}
+
+// Run plans and executes the named models on the system.
+func (sys *System) Run(modelNames ...string) (*Result, error) {
+	models := make([]*model.Model, len(modelNames))
+	for i, name := range modelNames {
+		m, err := model.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return sys.RunModels(models)
+}
+
+// RunModels plans and executes explicit model descriptions (use
+// encoding/json into model.Model for custom networks).
+func (sys *System) RunModels(models []*model.Model) (*Result, error) {
+	plan, err := sys.planner.PlanModels(models)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Latency:         exec.Makespan,
+		Throughput:      exec.Throughput(),
+		EnergyJoules:    exec.EnergyJoules,
+		PeakMemoryBytes: exec.PeakMemoryBytes,
+		Plan:            plan,
+		Execution:       exec,
+	}, nil
+}
+
+// SerialBaseline returns the serial big-CPU latency of the named models —
+// the vanilla-MNN reference to quote speedups against.
+func (sys *System) SerialBaseline(modelNames ...string) (time.Duration, error) {
+	bigs := sys.soc.ProcessorsOfKind(soc.KindCPUBig)
+	if len(bigs) == 0 {
+		return 0, errors.New("hetero2pipe: SoC has no big CPU cluster")
+	}
+	big := &sys.soc.Processors[bigs[0]]
+	var total time.Duration
+	for _, name := range modelNames {
+		m, err := model.ByName(name)
+		if err != nil {
+			return 0, err
+		}
+		lat := soc.BatchLatency(big, m, 1)
+		if lat == soc.InfDuration {
+			return 0, fmt.Errorf("hetero2pipe: %s cannot run on the big CPU", name)
+		}
+		total += lat
+	}
+	return total, nil
+}
+
+// ChromeTrace renders a result's execution as Chrome trace-event JSON.
+func (r *Result) ChromeTrace() ([]byte, error) {
+	return trace.ChromeTrace(r.Plan.Schedule, r.Execution)
+}
+
+// Gantt renders a result's execution as an ASCII timeline.
+func (r *Result) Gantt(width int) string {
+	return trace.Gantt(r.Plan.Schedule, r.Execution, width)
+}
+
+// StreamConfig re-exports the online scheduler configuration.
+type StreamConfig = stream.Config
+
+// StreamRequest re-exports the online request type.
+type StreamRequest = stream.Request
+
+// StreamResult re-exports the online run summary.
+type StreamResult = stream.Result
+
+// RunStream executes an arrival-ordered request stream with per-window
+// planning (the online deployment mode).
+func (sys *System) RunStream(requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
+	sched, err := stream.NewScheduler(sys.planner, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Run(requests, pipeline.DefaultOptions())
+}

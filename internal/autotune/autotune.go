@@ -1,0 +1,165 @@
+// Package autotune fits an SoC description to measured device latencies.
+// The presets in internal/soc were calibrated by hand against the paper's
+// anchor points (see cmd/calibrate); autotune mechanises the same loop for
+// users bringing their own hardware: given solo latency measurements of
+// known models on named processors, it searches each processor's
+// PeakGFLOPS and SoloBandwidthGBps by coordinate descent to minimise the
+// relative latency error. The contention constants are left alone — they
+// are cross-SoC behavioural parameters, not per-device ones.
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/soc"
+)
+
+// Measurement is one observed solo latency: the whole model executed on one
+// processor of the device being fitted.
+type Measurement struct {
+	// ProcessorID names the processor in the SoC description.
+	ProcessorID string
+	// Model is the zoo (or custom) network that was measured.
+	Model *model.Model
+	// Latency is the observed end-to-end solo latency.
+	Latency time.Duration
+}
+
+// Config tunes the fit.
+type Config struct {
+	// Iterations is the number of coordinate-descent sweeps.
+	Iterations int
+	// Step is the initial multiplicative step per parameter (e.g. 0.3
+	// tries ×1.3 and ×1/1.3); it shrinks geometrically.
+	Step float64
+}
+
+// DefaultConfig converges well for presets perturbed up to ~3×.
+func DefaultConfig() Config {
+	return Config{Iterations: 40, Step: 0.4}
+}
+
+// Result reports the fit.
+type Result struct {
+	// SoC is the fitted description (a deep-adjusted copy of the input).
+	SoC *soc.SoC
+	// InitialError and FinalError are mean relative latency errors.
+	InitialError, FinalError float64
+}
+
+// Fit adjusts the compute and bandwidth parameters of s's processors so the
+// simulated solo latencies match the measurements. The input SoC is not
+// modified.
+func Fit(s *soc.SoC, measurements []Measurement, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("autotune: %w", err)
+	}
+	if len(measurements) == 0 {
+		return nil, errors.New("autotune: no measurements")
+	}
+	if cfg.Iterations <= 0 || cfg.Step <= 0 {
+		cfg = DefaultConfig()
+	}
+	fitted := cloneSoC(s)
+	// Group measurement indices by processor.
+	perProc := make(map[string][]int)
+	for i, m := range measurements {
+		if fitted.Processor(m.ProcessorID) == nil {
+			return nil, fmt.Errorf("autotune: unknown processor %q", m.ProcessorID)
+		}
+		if m.Latency <= 0 {
+			return nil, fmt.Errorf("autotune: measurement %d has non-positive latency", i)
+		}
+		perProc[m.ProcessorID] = append(perProc[m.ProcessorID], i)
+	}
+
+	initial := meanError(fitted, measurements)
+	step := cfg.Step
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		improved := false
+		for id, idxs := range perProc {
+			p := fitted.Processor(id)
+			for _, param := range []*float64{&p.PeakGFLOPS, &p.SoloBandwidthGBps} {
+				base := *param
+				bestV, bestE := base, procError(fitted, measurements, idxs)
+				for _, factor := range []float64{1 + step, 1 / (1 + step)} {
+					*param = base * factor
+					if e := procError(fitted, measurements, idxs); e < bestE {
+						bestV, bestE = *param, e
+						improved = true
+					}
+				}
+				*param = bestV
+			}
+		}
+		if !improved {
+			step *= 0.5
+			if step < 1e-3 {
+				break
+			}
+		}
+	}
+	return &Result{
+		SoC:          fitted,
+		InitialError: initial,
+		FinalError:   meanError(fitted, measurements),
+	}, nil
+}
+
+// simulatedLatency is the solo whole-model latency the simulator predicts.
+func simulatedLatency(p *soc.Processor, m *model.Model) time.Duration {
+	return soc.BatchLatency(p, m, 1)
+}
+
+// relError returns |sim − obs| / obs for one measurement; unsupported
+// placements count as a full miss.
+func relError(s *soc.SoC, m Measurement) float64 {
+	p := s.Processor(m.ProcessorID)
+	sim := simulatedLatency(p, m.Model)
+	if sim == soc.InfDuration {
+		return 1
+	}
+	return math.Abs(sim.Seconds()-m.Latency.Seconds()) / m.Latency.Seconds()
+}
+
+// meanError averages relError over every measurement.
+func meanError(s *soc.SoC, ms []Measurement) float64 {
+	var sum float64
+	for _, m := range ms {
+		sum += relError(s, m)
+	}
+	return sum / float64(len(ms))
+}
+
+// procError averages relError over the given measurement indices.
+func procError(s *soc.SoC, ms []Measurement, idxs []int) float64 {
+	var sum float64
+	for _, i := range idxs {
+		sum += relError(s, ms[i])
+	}
+	return sum / float64(len(idxs))
+}
+
+// cloneSoC deep-copies the SoC (processors and their efficiency maps).
+func cloneSoC(s *soc.SoC) *soc.SoC {
+	out := *s
+	out.Processors = make([]soc.Processor, len(s.Processors))
+	copy(out.Processors, s.Processors)
+	for i := range out.Processors {
+		src := s.Processors[i].Efficiency
+		if src == nil {
+			continue
+		}
+		dst := make(map[model.OpKind]float64, len(src))
+		for k, v := range src {
+			dst[k] = v
+		}
+		out.Processors[i].Efficiency = dst
+	}
+	out.MemFreqLevelsMHz = append([]int(nil), s.MemFreqLevelsMHz...)
+	return &out
+}

@@ -1,0 +1,99 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/soc"
+)
+
+// groundTruthMeasurements simulates "device" measurements from a reference
+// SoC, so the fit has a known recoverable target.
+func groundTruthMeasurements(t *testing.T, truth *soc.SoC) []Measurement {
+	t.Helper()
+	var out []Measurement
+	for _, name := range []string{model.ResNet50, model.VGG16, model.SqueezeNet, model.InceptionV4} {
+		m := model.MustByName(name)
+		for _, pid := range []string{"cpu-big", "gpu", "npu"} {
+			p := truth.Processor(pid)
+			lat := soc.BatchLatency(p, m, 1)
+			if lat == soc.InfDuration {
+				continue
+			}
+			out = append(out, Measurement{ProcessorID: pid, Model: m, Latency: lat})
+		}
+	}
+	return out
+}
+
+// TestFitRecoversPerturbedSoC: start from a Kirin 990 whose compute and
+// bandwidth were mis-specified 2× in both directions and fit it back
+// against ground-truth measurements.
+func TestFitRecoversPerturbedSoC(t *testing.T) {
+	truth := soc.Kirin990()
+	ms := groundTruthMeasurements(t, truth)
+
+	wrong := soc.Kirin990()
+	wrong.Processor("cpu-big").PeakGFLOPS *= 2.0
+	wrong.Processor("gpu").PeakGFLOPS *= 0.5
+	wrong.Processor("npu").SoloBandwidthGBps *= 2.0
+	wrong.Processor("cpu-big").SoloBandwidthGBps *= 0.6
+
+	res, err := Fit(wrong, ms, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if res.InitialError < 0.05 {
+		t.Fatalf("perturbation produced only %.1f%% error; test not meaningful", res.InitialError*100)
+	}
+	if res.FinalError > 0.05 {
+		t.Errorf("final error %.1f%%, want ≤ 5%% (initial %.1f%%)",
+			res.FinalError*100, res.InitialError*100)
+	}
+	if res.FinalError >= res.InitialError {
+		t.Errorf("fit did not improve: %.3f → %.3f", res.InitialError, res.FinalError)
+	}
+	// The input SoC must be untouched.
+	if wrong.Processor("cpu-big").PeakGFLOPS != truth.Processor("cpu-big").PeakGFLOPS*2.0 {
+		t.Error("Fit mutated its input SoC")
+	}
+	if err := res.SoC.Validate(); err != nil {
+		t.Errorf("fitted SoC invalid: %v", err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	s := soc.Kirin990()
+	if _, err := Fit(s, nil, DefaultConfig()); err == nil {
+		t.Error("empty measurements accepted")
+	}
+	bad := []Measurement{{ProcessorID: "nope", Model: model.MustByName(model.ResNet50), Latency: time.Millisecond}}
+	if _, err := Fit(s, bad, DefaultConfig()); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	zero := []Measurement{{ProcessorID: "cpu-big", Model: model.MustByName(model.ResNet50), Latency: 0}}
+	if _, err := Fit(s, zero, DefaultConfig()); err == nil {
+		t.Error("zero latency accepted")
+	}
+	invalid := soc.Kirin990()
+	invalid.BusBandwidthGBps = -1
+	if _, err := Fit(invalid, bad, DefaultConfig()); err == nil {
+		t.Error("invalid SoC accepted")
+	}
+}
+
+func TestFitPerfectInputIsStable(t *testing.T) {
+	truth := soc.Kirin990()
+	ms := groundTruthMeasurements(t, truth)
+	res, err := Fit(truth, ms, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialError > 1e-9 {
+		t.Fatalf("self-measurements disagree with simulator: %.3g", res.InitialError)
+	}
+	if res.FinalError > res.InitialError+1e-9 {
+		t.Errorf("fit degraded a perfect description: %.3g → %.3g", res.InitialError, res.FinalError)
+	}
+}

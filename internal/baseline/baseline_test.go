@@ -1,0 +1,327 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+func profilesOf(t *testing.T, s *soc.SoC, names ...string) []*profile.Profile {
+	t.Helper()
+	out := make([]*profile.Profile, len(names))
+	for i, n := range names {
+		p, err := profile.New(s, model.MustByName(n))
+		if err != nil {
+			t.Fatalf("profile %s: %v", n, err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func executed(t *testing.T, sched *pipeline.Schedule) *pipeline.Result {
+	t.Helper()
+	res, err := pipeline.Execute(sched, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+func TestSerialMNN(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.ResNet50, model.BERT)
+	sched, err := SerialMNN(s, profs)
+	if err != nil {
+		t.Fatalf("SerialMNN: %v", err)
+	}
+	// Every request sits entirely on the big CPU stage.
+	bigStage := s.ProcessorsOfKind(soc.KindCPUBig)[0]
+	for i := range profs {
+		for st := 0; st < s.NumProcessors(); st++ {
+			r := sched.Stages[i][st]
+			if st == bigStage {
+				if r.Empty() || r.Len() != profs[i].NumLayers() {
+					t.Errorf("request %d: big stage range %+v", i, r)
+				}
+			} else if !r.Empty() {
+				t.Errorf("request %d: stage %d not empty", i, st)
+			}
+		}
+	}
+	executed(t, sched)
+}
+
+func TestPipeItUsesBothClusters(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.VGG16, model.ResNet50, model.InceptionV4)
+	sched, err := PipeIt(s, profs)
+	if err != nil {
+		t.Fatalf("PipeIt: %v", err)
+	}
+	big := s.ProcessorsOfKind(soc.KindCPUBig)[0]
+	small := s.ProcessorsOfKind(soc.KindCPUSmall)[0]
+	gpu := s.ProcessorsOfKind(soc.KindGPU)[0]
+	npu := s.ProcessorsOfKind(soc.KindNPU)[0]
+	usedSmall := false
+	for i := range profs {
+		if !sched.Stages[i][npu].Empty() || !sched.Stages[i][gpu].Empty() {
+			t.Errorf("request %d: Pipe-it must stay on CPU clusters", i)
+		}
+		if sched.Stages[i][big].Empty() {
+			t.Errorf("request %d: big cluster idle", i)
+		}
+		if !sched.Stages[i][small].Empty() {
+			usedSmall = true
+		}
+	}
+	if !usedSmall {
+		t.Error("Pipe-it never used the small cluster on any request")
+	}
+	executed(t, sched)
+}
+
+func TestPipeItLocalSearchBalances(t *testing.T) {
+	s := soc.Kirin990()
+	p := profilesOf(t, s, model.VGG16)[0]
+	big := s.ProcessorsOfKind(soc.KindCPUBig)[0]
+	small := s.ProcessorsOfKind(soc.KindCPUSmall)[0]
+	split := localSearchSplit(p, big, small)
+	n := p.NumLayers()
+	if split <= 0 || split > n {
+		t.Fatalf("split = %d outside (0, %d]", split, n)
+	}
+	// The found split's bottleneck must not exceed the all-on-big option.
+	allBig := p.SliceTime(big, 0, n-1).Seconds()
+	a := p.SliceTime(big, 0, split-1).Seconds()
+	b := p.SliceTime(small, split, n-1).Seconds()
+	if split == n {
+		b = 0
+	}
+	bot := a
+	if b > bot {
+		bot = b
+	}
+	if bot > allBig+1e-12 {
+		t.Errorf("local search bottleneck %g worse than all-on-big %g", bot, allBig)
+	}
+}
+
+func TestBandNPUFirst(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.ResNet50, model.BERT, model.YOLOv4)
+	sched, err := Band(s, profs)
+	if err != nil {
+		t.Fatalf("Band: %v", err)
+	}
+	npu := s.ProcessorsOfKind(soc.KindNPU)[0]
+	// ResNet50 is fully NPU-supported: everything on the NPU.
+	if r := sched.Stages[0][npu]; r.Empty() || r.Len() != profs[0].NumLayers() {
+		t.Errorf("ResNet50 NPU range %+v, want full model", r)
+	}
+	// BERT starts with an unsupported embedding: NPU stage empty.
+	if !sched.Stages[1][npu].Empty() {
+		t.Error("BERT NPU stage not empty")
+	}
+	// YOLOv4: supported prefix on NPU, remainder elsewhere.
+	if sched.Stages[2][npu].Empty() {
+		t.Error("YOLOv4 NPU prefix empty; expected partial offload")
+	}
+	executed(t, sched)
+}
+
+func TestBandMissingNPU(t *testing.T) {
+	s := soc.Kirin990()
+	s.Processors = s.Processors[1:] // drop the NPU
+	profs := profilesOf(t, s, model.ResNet50)
+	if _, err := Band(s, profs); err == nil {
+		t.Error("Band without NPU: nil error")
+	}
+}
+
+// TestBaselineOrdering pins Fig. 7's qualitative ranking on a mixed
+// workload: H²P ≤ Band < Pipe-it < serial MNN in makespan.
+func TestBaselineOrdering(t *testing.T) {
+	s := soc.Kirin990()
+	names := []string{model.ResNet50, model.SqueezeNet, model.VGG16,
+		model.MobileNetV2, model.InceptionV4, model.GoogLeNet}
+	profs := profilesOf(t, s, names...)
+
+	serialSched, err := SerialMNN(s, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeitSched, err := PipeIt(s, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandSched, err := Band(s, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlanner(s, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.PlanProfiles(profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := executed(t, serialSched).Makespan
+	pipeit := executed(t, pipeitSched).Makespan
+	band := executed(t, bandSched).Makespan
+	h2p := executed(t, plan.Schedule).Makespan
+
+	if h2p >= pipeit || h2p >= serial || h2p >= band {
+		t.Errorf("H²P %v must win: Pipe-it %v, serial %v, Band %v", h2p, pipeit, serial, band)
+	}
+	// Pipe-it stays CPU-bound: comparable to serial (our substrate charges
+	// it the cross-cluster contention the original work ignored — the
+	// paper's own criticism), far behind the heterogeneous schemes.
+	if pipeit.Seconds() > 1.4*serial.Seconds() {
+		t.Errorf("Pipe-it %v implausibly worse than serial %v", pipeit, serial)
+	}
+	if spd := serial.Seconds() / h2p.Seconds(); spd < 2 {
+		t.Errorf("H²P speedup over serial = %.2f×, want ≥ 2×", spd)
+	}
+	if spd := pipeit.Seconds() / h2p.Seconds(); spd < 2 {
+		t.Errorf("H²P speedup over Pipe-it = %.2f×, want ≥ 2× (paper: 2–3.7×)", spd)
+	}
+}
+
+func TestExhaustiveSmall(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.SqueezeNet, model.ResNet50, model.MobileNetV2)
+	sched, span, err := Exhaustive(s, profs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	if span <= 0 {
+		t.Fatalf("span = %v", span)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("exhaustive schedule invalid: %v", err)
+	}
+	// Identity ordering can never beat the exhaustive optimum.
+	baseCuts, err := horizontalCuts(profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idv, _, err := evalOrder(s, profs, baseCuts, []int{0, 1, 2}, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Seconds() > idv+1e-9 {
+		t.Errorf("exhaustive %v worse than identity ordering %.4fs", span, idv)
+	}
+}
+
+func TestExhaustiveTooLarge(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.SqueezeNet, model.SqueezeNet, model.SqueezeNet,
+		model.SqueezeNet, model.SqueezeNet, model.SqueezeNet, model.SqueezeNet,
+		model.SqueezeNet, model.SqueezeNet)
+	if _, _, err := Exhaustive(s, profs, pipeline.DefaultOptions()); err == nil {
+		t.Error("9-request exhaustive accepted; want scale error")
+	}
+}
+
+func TestSimulatedAnnealing(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.BERT, model.SqueezeNet, model.ResNet50, model.MobileNetV2)
+	cfg := DefaultAnnealConfig(11)
+	cfg.Iterations = 40
+	sched, span, err := SimulatedAnnealing(s, profs, pipeline.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatalf("SimulatedAnnealing: %v", err)
+	}
+	if span <= 0 || sched == nil {
+		t.Fatalf("span = %v", span)
+	}
+	// Deterministic under the same seed.
+	_, span2, err := SimulatedAnnealing(s, profs, pipeline.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != span2 {
+		t.Errorf("annealing not deterministic: %v vs %v", span, span2)
+	}
+}
+
+// TestH2PNearExhaustive reproduces the Fig. 8(a) claim: the two-step planner
+// lands close to the exhaustive optimum (paper: within ~4 %).
+func TestH2PNearExhaustive(t *testing.T) {
+	s := soc.Kirin990()
+	combos := [][]string{
+		{model.BERT, model.SqueezeNet, model.ResNet50, model.MobileNetV2},
+		{model.YOLOv4, model.GoogLeNet, model.AlexNet, model.ViT},
+	}
+	for _, names := range combos {
+		profs := profilesOf(t, s, names...)
+		_, exSpan, err := Exhaustive(s, profs, pipeline.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := core.NewPlanner(s, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := pl.PlanProfiles(profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2p := executed(t, plan.Schedule).Makespan
+		gap := (h2p.Seconds() - exSpan.Seconds()) / exSpan.Seconds()
+		if gap > 0.15 {
+			t.Errorf("%v: H²P %v vs exhaustive %v (gap %.1f%%), want ≤ 15%%",
+				names, h2p, exSpan, gap*100)
+		}
+	}
+	_ = time.Second
+}
+
+func TestMuLayerLatency(t *testing.T) {
+	s := soc.Kirin990()
+	m := model.MustByName(model.ResNet50)
+	lat, err := MuLayerLatency(s, m)
+	if err != nil {
+		t.Fatalf("MuLayerLatency: %v", err)
+	}
+	// Intra-op splitting beats either processor alone ...
+	cpu := s.Processor("cpu-big")
+	gpu := s.Processor("gpu")
+	var cpuSolo, gpuSolo time.Duration
+	for _, l := range m.Layers {
+		cpuSolo += cpu.LayerTime(l)
+		gpuSolo += gpu.LayerTime(l)
+	}
+	if lat >= cpuSolo || lat >= gpuSolo {
+		t.Errorf("µLayer %v not below solo CPU %v / GPU %v", lat, cpuSolo, gpuSolo)
+	}
+	// ... but the per-layer merges keep it above the ideal parallel sum.
+	ideal := time.Duration(float64(cpuSolo) * float64(gpuSolo) / float64(cpuSolo+gpuSolo))
+	if lat <= ideal {
+		t.Errorf("µLayer %v below ideal parallel %v; merge overhead missing", lat, ideal)
+	}
+	serial, err := MuLayerSerial(s, []*model.Model{m, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial <= lat || serial >= 3*lat {
+		t.Errorf("serial two-request latency %v inconsistent with single %v", serial, lat)
+	}
+}
+
+func TestMuLayerMissingProcessors(t *testing.T) {
+	s := soc.Kirin990()
+	s.Processors = s.Processors[:1] // NPU only
+	if _, err := MuLayerLatency(s, model.MustByName(model.ResNet50)); err == nil {
+		t.Error("missing CPU/GPU accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// Fig. 8 reference searchers. Both explore the vertical-optimisation space —
+// the ordering of the request sequence — on top of Algorithm-1 horizontal
+// partitions, scoring candidates by executed makespan under the full
+// contention model. Exhaustive enumerates every permutation (only viable for
+// small |M|); simulated annealing samples it.
+
+// evalOrder builds the work-stolen, tail-optimised schedule for one
+// ordering and returns its executed makespan in seconds. Applying the same
+// downstream machinery (Algorithm 3 + tail search) to every ordering makes
+// the reference searchers a strict superset of the planner, whose ordering
+// comes from Algorithm 2 alone.
+func evalOrder(s *soc.SoC, profiles []*profile.Profile, baseCuts []pipeline.Cuts, order []int, opts pipeline.Options) (float64, *pipeline.Schedule, error) {
+	m := len(order)
+	ordProfiles := make([]*profile.Profile, m)
+	ordCuts := make([]pipeline.Cuts, m)
+	for pos, orig := range order {
+		ordProfiles[pos] = profiles[orig]
+		c := make(pipeline.Cuts, len(baseCuts[orig]))
+		copy(c, baseCuts[orig])
+		ordCuts[pos] = c
+	}
+	core.WorkSteal(ordProfiles, ordCuts, s.NumProcessors())
+	sched, err := pipeline.FromCuts(s, ordProfiles, ordCuts)
+	if err != nil {
+		return 0, nil, err
+	}
+	sched, err = core.OptimizeTail(sched, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := pipeline.Execute(sched, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Makespan.Seconds(), sched, nil
+}
+
+// horizontalCuts runs Algorithm 1 on every profile.
+func horizontalCuts(profiles []*profile.Profile) ([]pipeline.Cuts, error) {
+	cuts := make([]pipeline.Cuts, len(profiles))
+	for i, p := range profiles {
+		c, _, err := core.Partition(p)
+		if err != nil {
+			return nil, err
+		}
+		cuts[i] = c
+	}
+	return cuts, nil
+}
+
+// maxExhaustiveRequests bounds permutation enumeration (8! = 40320 runs).
+const maxExhaustiveRequests = 8
+
+// Exhaustive enumerates every request ordering and returns the best schedule
+// and its makespan. It fails for |M| > 8 — the point of Fig. 8 is precisely
+// that this does not scale.
+func Exhaustive(s *soc.SoC, profiles []*profile.Profile, opts pipeline.Options) (*pipeline.Schedule, time.Duration, error) {
+	m := len(profiles)
+	if m == 0 {
+		return &pipeline.Schedule{SoC: s}, 0, nil
+	}
+	if m > maxExhaustiveRequests {
+		return nil, 0, errors.New("baseline: exhaustive search infeasible beyond 8 requests")
+	}
+	baseCuts, err := horizontalCuts(profiles)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := math.Inf(1)
+	var bestSched *pipeline.Schedule
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	var walk func(depth int) error
+	walk = func(depth int) error {
+		if depth == m {
+			v, sched, err := evalOrder(s, profiles, baseCuts, order, opts)
+			if err != nil {
+				return err
+			}
+			if v < best {
+				best = v
+				bestSched = sched
+			}
+			return nil
+		}
+		for i := depth; i < m; i++ {
+			order[depth], order[i] = order[i], order[depth]
+			if err := walk(depth + 1); err != nil {
+				return err
+			}
+			order[depth], order[i] = order[i], order[depth]
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, 0, err
+	}
+	return bestSched, time.Duration(best * float64(time.Second)), nil
+}
+
+// AnnealConfig tunes SimulatedAnnealing.
+type AnnealConfig struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// Iterations is the number of proposal steps.
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// relative makespan units.
+	StartTemp, EndTemp float64
+}
+
+// DefaultAnnealConfig matches the meta-heuristic reference of Fig. 8(a).
+func DefaultAnnealConfig(seed int64) AnnealConfig {
+	return AnnealConfig{Seed: seed, Iterations: 200, StartTemp: 0.3, EndTemp: 0.01}
+}
+
+// SimulatedAnnealing searches orderings by random adjacent-or-arbitrary
+// swaps under a geometric cooling schedule.
+func SimulatedAnnealing(s *soc.SoC, profiles []*profile.Profile, opts pipeline.Options, cfg AnnealConfig) (*pipeline.Schedule, time.Duration, error) {
+	m := len(profiles)
+	if m == 0 {
+		return &pipeline.Schedule{SoC: s}, 0, nil
+	}
+	if cfg.Iterations <= 0 {
+		cfg = DefaultAnnealConfig(cfg.Seed)
+	}
+	baseCuts, err := horizontalCuts(profiles)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(m)
+	cur, curSched, err := evalOrder(s, profiles, baseCuts, order, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	best, bestSched := cur, curSched
+	for it := 0; it < cfg.Iterations; it++ {
+		frac := float64(it) / float64(cfg.Iterations)
+		temp := cfg.StartTemp * math.Pow(cfg.EndTemp/cfg.StartTemp, frac)
+		i, j := rng.Intn(m), rng.Intn(m)
+		if i == j {
+			continue
+		}
+		order[i], order[j] = order[j], order[i]
+		cand, candSched, err := evalOrder(s, profiles, baseCuts, order, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		accept := cand < cur
+		if !accept && cur > 0 {
+			delta := (cand - cur) / cur
+			accept = rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accept {
+			cur = cand
+			curSched = candSched
+			if cand < best {
+				best, bestSched = cand, candSched
+			}
+		} else {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	_ = curSched
+	return bestSched, time.Duration(best * float64(time.Second)), nil
+}

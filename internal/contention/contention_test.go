@@ -1,0 +1,203 @@
+package contention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/soc"
+)
+
+func kirinProcs(t *testing.T) (*soc.SoC, *soc.Processor, *soc.Processor, *soc.Processor) {
+	t.Helper()
+	k := soc.Kirin990()
+	big, gpu, npu := k.Processor("cpu-big"), k.Processor("gpu"), k.Processor("npu")
+	if big == nil || gpu == nil || npu == nil {
+		t.Fatal("Kirin990 preset missing processors")
+	}
+	return k, big, gpu, npu
+}
+
+func TestFootprintRanges(t *testing.T) {
+	_, big, _, _ := kirinProcs(t)
+	for _, m := range model.All() {
+		fp := Measure(big, m)
+		if fp.DemandGBps <= 0 || fp.DemandGBps > big.SoloBandwidthGBps {
+			t.Errorf("%s: demand %.2f outside (0, %g]", m.Name, fp.DemandGBps, big.SoloBandwidthGBps)
+		}
+		if fp.Sensitivity <= 0 || fp.Sensitivity > 1 {
+			t.Errorf("%s: sensitivity %.2f outside (0, 1]", m.Name, fp.Sensitivity)
+		}
+	}
+}
+
+// TestObservation3 pins the paper's surprising outlier: SqueezeNet, 70×
+// smaller than ViT, imposes a higher contention intensity.
+func TestObservation3(t *testing.T) {
+	_, big, _, _ := kirinProcs(t)
+	sq := Measure(big, model.MustByName(model.SqueezeNet))
+	vit := Measure(big, model.MustByName(model.ViT))
+	if sq.DemandGBps <= vit.DemandGBps {
+		t.Errorf("demand(SqueezeNet)=%.2f not above demand(ViT)=%.2f", sq.DemandGBps, vit.DemandGBps)
+	}
+	// And SqueezeNet/GoogLeNet sit in the upper half of the zoo ranking.
+	var demands []float64
+	for _, m := range model.All() {
+		demands = append(demands, Measure(big, m).DemandGBps)
+	}
+	median := quantileOf(demands, 0.5)
+	if sq.DemandGBps < median {
+		t.Errorf("SqueezeNet demand %.2f below zoo median %.2f", sq.DemandGBps, median)
+	}
+}
+
+// TestPairBands pins the co-execution slowdown bands of Sec. III and
+// Table II.
+func TestPairBands(t *testing.T) {
+	k, big, gpu, npu := kirinProcs(t)
+	bus := k.BusBandwidthGBps
+	yoloCPU := Measure(big, model.MustByName(model.YOLOv4))
+	yoloGPU := Measure(gpu, model.MustByName(model.YOLOv4))
+	bertGPU := Measure(gpu, model.MustByName(model.BERT))
+	bertCPU := Measure(big, model.MustByName(model.BERT))
+	resnetNPU := Measure(npu, model.MustByName(model.ResNet50))
+	sqCPU := Measure(big, model.MustByName(model.SqueezeNet))
+	vitCPU := Measure(big, model.MustByName(model.ViT))
+	vitGPU := Measure(gpu, model.MustByName(model.ViT))
+
+	check := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s slowdown = %.1f%%, want %.0f–%.0f%%", name, got*100, lo*100, hi*100)
+		}
+	}
+	// CPU-GPU heavy pairs: the paper's 18/21 % (we accept 8–30 %).
+	a, b := PairSlowdowns(bus, yoloCPU, bertGPU)
+	check("YOLO(CPU) from BERT(GPU)", a, 0.08, 0.30)
+	check("BERT(GPU) from YOLO(CPU)", b, 0.08, 0.30)
+	// NPU involvement collapses interference: paper 2–4.5 % (accept <8 %).
+	a, b = PairSlowdowns(bus, yoloCPU, resnetNPU)
+	check("YOLO(CPU) from ResNet(NPU)", a, 0, 0.08)
+	check("ResNet(NPU) from YOLO(CPU)", b, 0, 0.08)
+	a, b = PairSlowdowns(bus, yoloGPU, resnetNPU)
+	check("YOLO(GPU) from ResNet(NPU)", a, 0, 0.09)
+	check("ResNet(NPU) from YOLO(GPU)", b, 0, 0.09)
+	// SqueezeNet pair (Table II row 1): the light model suffers most.
+	a, b = PairSlowdowns(bus, sqCPU, bertGPU)
+	check("SqueezeNet(CPU) from BERT(GPU)", a, 0.15, 0.45)
+	check("BERT(GPU) from SqueezeNet(CPU)", b, 0.05, 0.30)
+	if a <= b {
+		t.Errorf("SqueezeNet suffers %.1f%% ≤ partner %.1f%%; Table II has the light model suffering more", a*100, b*100)
+	}
+	// ViT/BERT pairs (Table II rows 2–4): ~9–12 %.
+	a, b = PairSlowdowns(bus, vitCPU, bertGPU)
+	check("ViT(CPU) from BERT(GPU)", a, 0.04, 0.20)
+	check("BERT(GPU) from ViT(CPU)", b, 0.04, 0.20)
+	a, b = PairSlowdowns(bus, bertCPU, vitGPU)
+	check("BERT(CPU) from ViT(GPU)", a, 0.04, 0.20)
+	check("ViT(GPU) from BERT(CPU)", b, 0.04, 0.20)
+}
+
+// TestObservation1Consistency: for pairs of models with comparable
+// sensitivity, mutual slowdowns are of similar magnitude — it is unlikely to
+// see a large slowdown on one side and almost none on the other.
+func TestObservation1Consistency(t *testing.T) {
+	k, big, gpu, _ := kirinProcs(t)
+	bus := k.BusBandwidthGBps
+	pairs := [][2]string{
+		{model.YOLOv4, model.BERT},
+		{model.ViT, model.BERT},
+		{model.ResNet50, model.InceptionV4},
+		{model.GoogLeNet, model.YOLOv4},
+	}
+	for _, pr := range pairs {
+		a, b := PairSlowdowns(bus,
+			Measure(big, model.MustByName(pr[0])),
+			Measure(gpu, model.MustByName(pr[1])))
+		if a < 0.005 || b < 0.005 {
+			continue // negligible interference both ways is consistent
+		}
+		ratio := a / b
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("%s/%s: mutual slowdowns %.1f%%/%.1f%% inconsistent (ratio %.2f)",
+				pr[0], pr[1], a*100, b*100, ratio)
+		}
+	}
+}
+
+func TestSlowdownProperties(t *testing.T) {
+	self := Footprint{DemandGBps: 3, Sensitivity: 0.5}
+	if got := Slowdown(16, self, nil); got != 1 {
+		t.Errorf("no co-runners: slowdown %g, want 1", got)
+	}
+	if got := Slowdown(0, self, []Footprint{{DemandGBps: 5}}); got != 1 {
+		t.Errorf("zero bus: slowdown %g, want 1", got)
+	}
+	if got := Slowdown(16, Footprint{}, []Footprint{{DemandGBps: 5}}); got != 1 {
+		t.Errorf("zero sensitivity: slowdown %g, want 1", got)
+	}
+	// Monotone in co-runner demand; bounded by 1 + gain·sensitivity.
+	prop := func(d1, d2 uint16) bool {
+		lo := Slowdown(16, self, []Footprint{{DemandGBps: float64(d1 % 100)}})
+		hi := Slowdown(16, self, []Footprint{{DemandGBps: float64(d1%100) + float64(d2%100)}})
+		return lo <= hi && hi <= 1+pressureGain*self.Sensitivity+1e-9 && lo >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowdownAdditiveCoRunners(t *testing.T) {
+	self := Footprint{DemandGBps: 3, Sensitivity: 0.8}
+	one := Slowdown(16, self, []Footprint{{DemandGBps: 2}})
+	two := Slowdown(16, self, []Footprint{{DemandGBps: 2}, {DemandGBps: 2}})
+	if two <= one {
+		t.Errorf("two co-runners %.3f not worse than one %.3f", two, one)
+	}
+}
+
+func TestMeasureSliceBounds(t *testing.T) {
+	_, big, _, _ := kirinProcs(t)
+	m := model.MustByName(model.VGG16)
+	if fp := MeasureSlice(big, m, 3, 2); fp != (Footprint{}) {
+		t.Errorf("inverted range: footprint %+v, want zero", fp)
+	}
+	if fp := MeasureSlice(big, m, 0, m.NumLayers()); fp != (Footprint{}) {
+		t.Errorf("out-of-range: footprint %+v, want zero", fp)
+	}
+}
+
+func TestMeasureUnsupportedSlice(t *testing.T) {
+	_, _, _, npu := kirinProcs(t)
+	bert := model.MustByName(model.BERT)
+	if fp := Measure(npu, bert); fp != (Footprint{}) {
+		t.Errorf("BERT on NPU: footprint %+v, want zero (unsupported)", fp)
+	}
+}
+
+func TestIntraClusterSlowdown(t *testing.T) {
+	if got := IntraClusterSlowdown(1); got != 1 {
+		t.Errorf("IntraClusterSlowdown(1) = %g, want 1", got)
+	}
+	if got := IntraClusterSlowdown(2); math.Abs(got-1.7) > 1e-9 {
+		t.Errorf("IntraClusterSlowdown(2) = %g, want 1.7 (the paper's 70%%)", got)
+	}
+	if got := IntraClusterSlowdown(4); got > 2.5 {
+		t.Errorf("IntraClusterSlowdown(4) = %g, want saturation ≤ 2.5", got)
+	}
+	if IntraClusterSlowdown(3) < IntraClusterSlowdown(2) {
+		t.Error("intra-cluster slowdown must be non-decreasing")
+	}
+}
+
+func quantileOf(xs []float64, q float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return quantile(sorted, q)
+}

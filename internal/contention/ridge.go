@@ -1,0 +1,141 @@
+package contention
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ridge regression (Eq. 1 of the paper): learn weights W minimising
+// ½‖XW − Y‖² + ½α‖W‖², with the closed form W = (XᵀX + αI)⁻¹ XᵀY. The
+// features X are the three PMU counters of a model's solo execution and Y is
+// its measured contention intensity (bus demand), so new inference requests
+// can be classified H/L from a cheap PMU read without profiling every
+// co-execution combination.
+
+// RidgeModel is a fitted linear predictor with an intercept term.
+type RidgeModel struct {
+	// Weights has one coefficient per feature, followed by the intercept.
+	Weights []float64
+	// Alpha is the L2 regularisation strength used in the fit.
+	Alpha float64
+}
+
+// FitRidge solves the regularised least squares of Eq. (1). Each row of
+// features is one observation; y holds the targets. An intercept column is
+// appended internally (and excluded from regularisation, the standard
+// convention).
+func FitRidge(features [][]float64, y []float64, alpha float64) (*RidgeModel, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, errors.New("contention: no training observations")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("contention: %d feature rows but %d targets", n, len(y))
+	}
+	if alpha < 0 {
+		return nil, errors.New("contention: negative ridge alpha")
+	}
+	d := len(features[0])
+	if d == 0 {
+		return nil, errors.New("contention: empty feature vectors")
+	}
+	for i, row := range features {
+		if len(row) != d {
+			return nil, fmt.Errorf("contention: feature row %d has %d entries, want %d", i, len(row), d)
+		}
+	}
+	// Augment with an intercept column.
+	p := d + 1
+	// Normal matrix A = XᵀX + αI (intercept unregularised), b = XᵀY.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	row := make([]float64, p)
+	for k := 0; k < n; k++ {
+		copy(row, features[k])
+		row[d] = 1
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[k]
+		}
+	}
+	for i := 0; i < d; i++ {
+		a[i][i] += alpha
+	}
+	w, err := solveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("contention: ridge solve: %w", err)
+	}
+	return &RidgeModel{Weights: w, Alpha: alpha}, nil
+}
+
+// Predict returns the model's estimate for one feature vector.
+func (m *RidgeModel) Predict(features []float64) (float64, error) {
+	if len(features) != len(m.Weights)-1 {
+		return 0, fmt.Errorf("contention: got %d features, model wants %d",
+			len(features), len(m.Weights)-1)
+	}
+	sum := m.Weights[len(m.Weights)-1] // intercept
+	for i, f := range features {
+		sum += m.Weights[i] * f
+	}
+	return sum, nil
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
+// The matrices here are tiny (4×4), so numerical sophistication beyond
+// pivoting is unnecessary.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies to leave the caller's data intact.
+	m := make([][]float64, n)
+	for i := range a {
+		m[i] = make([]float64, n)
+		copy(m[i], a[i])
+	}
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("singular normal matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"hetero2pipe/internal/contention"
+)
+
+// FuzzMitigate checks Algorithm-2 invariants on arbitrary class sequences:
+// the result is always a permutation and never increases the conflict
+// count.
+func FuzzMitigate(f *testing.F) {
+	f.Add([]byte("HHLL"), 2)
+	f.Add([]byte("HLHLHL"), 3)
+	f.Add([]byte("HHHH"), 4)
+	f.Add([]byte("L"), 2)
+	f.Fuzz(func(t *testing.T, raw []byte, k int) {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		if k < 1 {
+			k = 1
+		}
+		k = k%6 + 1
+		cls := make([]contention.Class, len(raw))
+		for i, b := range raw {
+			if b%2 == 0 {
+				cls[i] = contention.High
+			} else {
+				cls[i] = contention.Low
+			}
+		}
+		order := Mitigate(cls, k)
+		if len(order) != len(cls) {
+			t.Fatalf("order length %d, want %d", len(order), len(cls))
+		}
+		seen := make([]bool, len(order))
+		for _, v := range order {
+			if v < 0 || v >= len(order) || seen[v] {
+				t.Fatalf("order %v not a permutation of %d", order, len(cls))
+			}
+			seen[v] = true
+		}
+		after := make([]contention.Class, len(order))
+		for pos, orig := range order {
+			after[pos] = cls[orig]
+		}
+		if got, before := countConflicts(after, k), countConflicts(cls, k); got > before {
+			t.Fatalf("conflicts %d → %d (classes %v, K=%d)", before, got, cls, k)
+		}
+	})
+}
+
+func countConflicts(cls []contention.Class, k int) int {
+	prev := -1
+	n := 0
+	for p, c := range cls {
+		if c != contention.High {
+			continue
+		}
+		if prev >= 0 && p-prev < k {
+			n++
+		}
+		prev = p
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetero2pipe/internal/contention"
+)
+
+// classesOf builds a class slice from a compact "HLLH" string.
+func classesOf(s string) []contention.Class {
+	out := make([]contention.Class, len(s))
+	for i, c := range s {
+		if c == 'H' {
+			out[i] = contention.High
+		} else {
+			out[i] = contention.Low
+		}
+	}
+	return out
+}
+
+// applyOrder returns the class string after permutation.
+func applyOrder(cls []contention.Class, order []int) string {
+	out := make([]byte, len(order))
+	for pos, orig := range order {
+		if cls[orig] == contention.High {
+			out[pos] = 'H'
+		} else {
+			out[pos] = 'L'
+		}
+	}
+	return string(out)
+}
+
+func conflictCount(s string, k int) int {
+	prev := -1
+	count := 0
+	for p, c := range s {
+		if c != 'H' {
+			continue
+		}
+		if prev >= 0 && p-prev < k {
+			count++
+		}
+		prev = p
+	}
+	return count
+}
+
+func isPermutation(order []int) bool {
+	seen := make(map[int]bool, len(order))
+	for _, v := range order {
+		if v < 0 || v >= len(order) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestMitigateSimplePair(t *testing.T) {
+	// HHLL with K=2: the two H must end up ≥ 2 apart.
+	cls := classesOf("HHLL")
+	order := Mitigate(cls, 2)
+	if !isPermutation(order) {
+		t.Fatalf("order %v not a permutation", order)
+	}
+	after := applyOrder(cls, order)
+	if got := conflictCount(after, 2); got != 0 {
+		t.Errorf("after = %q, %d conflicts remain", after, got)
+	}
+}
+
+func TestMitigateWindow3(t *testing.T) {
+	cls := classesOf("HHLLLLL")
+	order := Mitigate(cls, 3)
+	after := applyOrder(cls, order)
+	if got := conflictCount(after, 3); got != 0 {
+		t.Errorf("after = %q, %d conflicts remain (K=3)", after, got)
+	}
+}
+
+func TestMitigateUnresolvableBestEffort(t *testing.T) {
+	// Three H in six slots can never be pairwise ≥ 3 apart: the best any
+	// ordering achieves is one residual conflict, and mitigation must not
+	// do worse than the input's one conflict.
+	cls := classesOf("HHLLLH")
+	after := applyOrder(cls, Mitigate(cls, 3))
+	if got := conflictCount(after, 3); got > 1 {
+		t.Errorf("after = %q has %d conflicts, want ≤ 1", after, got)
+	}
+}
+
+func TestMitigateNoConflictsIsIdentity(t *testing.T) {
+	cls := classesOf("HLLHLLH")
+	order := Mitigate(cls, 3)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("conflict-free input reordered: %v", order)
+		}
+	}
+}
+
+func TestMitigateAllHighBestEffort(t *testing.T) {
+	// No L to relocate: best effort returns a permutation unchanged.
+	cls := classesOf("HHHH")
+	order := Mitigate(cls, 2)
+	if !isPermutation(order) {
+		t.Fatalf("order %v not a permutation", order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Errorf("all-H input should be untouched, got %v", order)
+			break
+		}
+	}
+}
+
+func TestMitigateEdgeCases(t *testing.T) {
+	if got := Mitigate(nil, 4); len(got) != 0 {
+		t.Errorf("empty input order = %v", got)
+	}
+	cls := classesOf("HH")
+	order := Mitigate(cls, 1) // window 1: nothing ever conflicts
+	for i, v := range order {
+		if v != i {
+			t.Errorf("K=1 should be identity, got %v", order)
+		}
+	}
+}
+
+// TestMitigateNeverWorsens: across random sequences, mitigation never
+// increases the conflict count and always returns a valid permutation.
+func TestMitigateNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		m := 2 + rng.Intn(14)
+		k := 2 + rng.Intn(3)
+		raw := make([]byte, m)
+		for i := range raw {
+			if rng.Intn(2) == 0 {
+				raw[i] = 'H'
+			} else {
+				raw[i] = 'L'
+			}
+		}
+		cls := classesOf(string(raw))
+		before := conflictCount(string(raw), k)
+		order := Mitigate(cls, k)
+		if !isPermutation(order) {
+			t.Fatalf("trial %d: order %v not a permutation", trial, order)
+		}
+		after := conflictCount(applyOrder(cls, order), k)
+		if after > before {
+			t.Errorf("trial %d: conflicts %d → %d (input %q, K=%d)",
+				trial, before, after, raw, k)
+		}
+	}
+}
+
+// TestMitigateResolvesWhenPossible: with plenty of L requests, all conflicts
+// must clear.
+func TestMitigateResolvesWhenPossible(t *testing.T) {
+	cases := []struct {
+		in string
+		k  int
+	}{
+		{"HHLLLLLL", 2},
+		{"LLHHLLLL", 2},
+		{"HLHLLLLLLL", 3},
+		{"HHLLLLLLLL", 4},
+	}
+	for _, tc := range cases {
+		cls := classesOf(tc.in)
+		after := applyOrder(cls, Mitigate(cls, tc.k))
+		if got := conflictCount(after, tc.k); got != 0 {
+			t.Errorf("%q K=%d: after %q still has %d conflicts", tc.in, tc.k, after, got)
+		}
+	}
+}
+
+func TestRelocationCost(t *testing.T) {
+	cls := classesOf("HHLLLL")
+	// Moving the L at 4 before the conflicting H at 1: distance 3 ≥ K=2.
+	if got := relocationCost(cls, 2, 4, 1); got != 3 {
+		t.Errorf("relocationCost = %g, want 3", got)
+	}
+	// L at 2 is within the window of H at 1 (K=3 → distance 1 < 3).
+	if got := relocationCost(classesOf("HHLLLL"), 3, 2, 1); !math.IsInf(got, 1) {
+		t.Errorf("in-window relocation cost = %g, want Inf", got)
+	}
+	// Removing the L at 2 of HHLHLL would bring the H at 1 and H at 3
+	// within one window of each other.
+	cls2 := classesOf("HHLHLL")
+	if got := relocationCost(cls2, 2, 2, 1); !math.IsInf(got, 1) {
+		t.Errorf("conflict-creating removal cost = %g, want Inf", got)
+	}
+	// Wrong classes.
+	if got := relocationCost(cls, 2, 0, 1); !math.IsInf(got, 1) {
+		t.Errorf("H-as-source cost = %g, want Inf", got)
+	}
+	// Out of range.
+	if got := relocationCost(cls, 2, -1, 1); !math.IsInf(got, 1) {
+		t.Errorf("out-of-range cost = %g, want Inf", got)
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	cls := classesOf("HHLLL")
+	order := []int{0, 1, 2, 3, 4}
+	relocate(cls, order, 4, 1) // move L at 4 to sit before the H at 1
+	got := applyOrder(classesOf("HHLLL"), order)
+	if got != "HLHLL" {
+		t.Errorf("after relocate = %q, want HLHLL", got)
+	}
+	if !isPermutation(order) {
+		t.Errorf("order %v not a permutation", order)
+	}
+	// Rightward move.
+	cls2 := classesOf("LHHLL")
+	order2 := []int{0, 1, 2, 3, 4}
+	relocate(cls2, order2, 0, 2) // move L at 0 before the H at 2
+	got2 := applyOrder(classesOf("LHHLL"), order2)
+	if got2 != "HLHLL" {
+		t.Errorf("after rightward relocate = %q, want HLHLL", got2)
+	}
+}
+
+func TestConflictPositions(t *testing.T) {
+	got := conflictPositions(classesOf("HHLHLLH"), 3)
+	want := []int{1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("conflicts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("conflicts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGreedyAssign(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{1, inf},
+		{2, inf},
+	}
+	colTo := greedyAssign(cost)
+	if colTo[0] != 0 {
+		t.Errorf("colTo[0] = %d, want 0 (cheapest)", colTo[0])
+	}
+	if colTo[1] != -1 {
+		t.Errorf("colTo[1] = %d, want unassigned", colTo[1])
+	}
+	if got := greedyAssign(nil); got != nil {
+		t.Errorf("greedyAssign(nil) = %v", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package core implements the Hetero²Pipe planner — the paper's primary
+// contribution: Algorithm 1 (dynamic-programming horizontal model
+// partitioning with monotonicity pruning and NPU-fallback awareness),
+// Algorithm 2 (contention mitigation by re-ordering requests via the Linear
+// Assignment Problem), Algorithm 3 (vertical alignment by work stealing plus
+// tail-bubble local search), and the two-step Planner that composes them.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// ErrInfeasiblePartition is returned when no stage assignment covers the
+// model (cannot happen on SoCs whose CPU supports every operator, but
+// guarded for custom configurations).
+var ErrInfeasiblePartition = errors.New("core: no feasible partition")
+
+// sliceSeconds returns the slice cost f(k, i, j) in seconds, +Inf when the
+// slice cannot run on stage k. An empty slice costs zero.
+func sliceSeconds(p *profile.Profile, k, i, j int) float64 {
+	if j < i {
+		return 0
+	}
+	d := p.SliceTime(k, i, j)
+	if d == soc.InfDuration {
+		return math.Inf(1)
+	}
+	return d.Seconds()
+}
+
+// Partition solves P1 (Eq. 4) for one model: choose stage boundaries
+// minimising the maximum per-stage time over the SoC's capability-ordered
+// processors, with empty stages allowed (this is how NPU-unsupported
+// operators "fall back": the DP gives the NPU an empty or short supported
+// prefix and the work flows to the next stage, exactly the fallback
+// behaviour Sec. IV describes).
+//
+// The recurrence is the paper's optimal substructure
+//
+//	S*(j, k) = min_i max{ S*(i-1, k-1), T_k^e(i, j) }
+//
+// computed stage by stage with the Property-2 monotonicity prune: S*(·, k-1)
+// is non-decreasing in its prefix, so once S*(i-1, k-1) reaches the best
+// candidate found for a cell, no larger i can improve it and the inner scan
+// stops. Unlike a pure crossing-point binary search this stays exact even
+// though the memory-copy term T^c(i) of Eq. (2) is not itself monotone in i
+// (boundary tensor sizes vary along the chain); PartitionFast below is the
+// O(nK log n) binary-search variant that is exact whenever Property 2 holds
+// for the combined cost.
+//
+// It returns the boundary vector and the bottleneck stage time in seconds.
+func Partition(p *profile.Profile) (pipeline.Cuts, float64, error) {
+	choice, best, err := partitionTable(p, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return backtrackCuts(p, choice, best)
+}
+
+// PartitionFast is the O(nK log n) crossing-point variant of Algorithm 1:
+// per DP cell it binary-searches the index where the non-decreasing
+// S*(·, k-1) crosses the (under Property 2) non-increasing slice cost. It is
+// exact when Property 2 holds for the combined exec+copy cost and within a
+// fraction of a percent of optimal otherwise.
+func PartitionFast(p *profile.Profile) (pipeline.Cuts, float64, error) {
+	choice, best, err := partitionTable(p, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	return backtrackCuts(p, choice, best)
+}
+
+// partitionTable fills the DP and returns the per-stage choice table and
+// the optimal bottleneck.
+func partitionTable(p *profile.Profile, fast bool) ([][]int, float64, error) {
+	n := p.NumLayers()
+	k := p.NumProcessors()
+	if n == 0 || k == 0 {
+		return nil, 0, ErrInfeasiblePartition
+	}
+
+	// dp[j+1] = S*(j, stage) for prefix ending at layer j; dp[0] = S*(∅).
+	dp := make([]float64, n+1)
+	prev := make([]float64, n+1)
+	// choice[k][j+1] = the i chosen (start layer of stage k's slice; i=j+1
+	// encodes an empty slice).
+	choice := make([][]int, k)
+	for s := range choice {
+		choice[s] = make([]int, n+1)
+	}
+
+	// Stage 0 base: prefix [0..j] entirely on stage 0 (or empty).
+	prev[0] = 0
+	for j := 0; j < n; j++ {
+		prev[j+1] = sliceSeconds(p, 0, 0, j)
+		choice[0][j+1] = 0
+	}
+	choice[0][0] = 0
+
+	for stage := 1; stage < k; stage++ {
+		dp[0] = prev[0] // empty prefix stays empty
+		choice[stage][0] = 0
+		for j := 0; j < n; j++ {
+			var bestI int
+			var bestV float64
+			if fast {
+				bestI, bestV = cellByCrossing(p, prev, stage, j)
+			} else {
+				bestI, bestV = cellByScan(p, prev, stage, j)
+			}
+			dp[j+1] = bestV
+			choice[stage][j+1] = bestI
+		}
+		dp, prev = prev, dp
+	}
+	best := prev[n]
+	if math.IsInf(best, 1) {
+		return nil, 0, ErrInfeasiblePartition
+	}
+	return choice, best, nil
+}
+
+// cellByScan minimises max(prev[i], cost(i, j)) exactly, pruning on the
+// monotone prev: once prev[i] ≥ the best value so far, no larger i helps.
+func cellByScan(p *profile.Profile, prev []float64, stage, j int) (int, float64) {
+	bestI, bestV := j+1, math.Max(prev[j+1], 0) // empty slice candidate
+	for i := 0; i <= j; i++ {
+		if prev[i] >= bestV {
+			break
+		}
+		v := math.Max(prev[i], sliceSeconds(p, stage, i, j))
+		if v < bestV {
+			bestI, bestV = i, v
+		}
+	}
+	return bestI, bestV
+}
+
+// cellByCrossing binary-searches the prev/cost crossing (Property 2 path).
+func cellByCrossing(p *profile.Profile, prev []float64, stage, j int) (int, float64) {
+	lo, hi := 0, j+1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if prev[mid] < sliceSeconds(p, stage, mid, j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	bestI, bestV := lo, math.Max(prev[lo], sliceSeconds(p, stage, lo, j))
+	if lo > 0 {
+		if v := math.Max(prev[lo-1], sliceSeconds(p, stage, lo-1, j)); v < bestV {
+			bestI, bestV = lo-1, v
+		}
+	}
+	return bestI, bestV
+}
+
+// backtrackCuts recovers boundary vectors from the choice table.
+func backtrackCuts(p *profile.Profile, choice [][]int, best float64) (pipeline.Cuts, float64, error) {
+	n := p.NumLayers()
+	k := p.NumProcessors()
+
+	// Backtrack boundaries: cuts[s] is the first layer of stage s.
+	cuts := make(pipeline.Cuts, k+1)
+	cuts[k] = n
+	end := n // exclusive end of current stage's slice
+	for stage := k - 1; stage >= 1; stage-- {
+		start := choice[stage][end]
+		cuts[stage] = start
+		end = start
+	}
+	cuts[0] = 0
+	if !pipeline.ValidCuts(cuts, n, k) {
+		return nil, 0, fmt.Errorf("core: internal: backtracked cuts %v invalid", []int(cuts))
+	}
+	return cuts, best, nil
+}
+
+// partitionReference is the direct O(n²K) realisation of the recurrence,
+// kept for cross-checking the pruned version in tests.
+func partitionReference(p *profile.Profile) (float64, error) {
+	n := p.NumLayers()
+	k := p.NumProcessors()
+	if n == 0 || k == 0 {
+		return 0, ErrInfeasiblePartition
+	}
+	prev := make([]float64, n+1)
+	dp := make([]float64, n+1)
+	prev[0] = 0
+	for j := 0; j < n; j++ {
+		prev[j+1] = sliceSeconds(p, 0, 0, j)
+	}
+	for stage := 1; stage < k; stage++ {
+		dp[0] = prev[0]
+		for j := 0; j < n; j++ {
+			best := math.Inf(1)
+			for i := 0; i <= j+1; i++ {
+				v := math.Max(prev[i], sliceSeconds(p, stage, i, j))
+				if v < best {
+					best = v
+				}
+			}
+			dp[j+1] = best
+		}
+		dp, prev = prev, dp
+	}
+	if math.IsInf(prev[n], 1) {
+		return 0, ErrInfeasiblePartition
+	}
+	return prev[n], nil
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero2pipe/internal/contention"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// Options tune the planner. The zero value disables every optional step;
+// use DefaultOptions for the full Hetero²Pipe configuration.
+type Options struct {
+	// HighQuantile is the percentile threshold splitting requests into
+	// high/low contention classes (Sec. V-B).
+	HighQuantile float64
+	// Mitigation enables Algorithm 2 request re-ordering.
+	Mitigation bool
+	// WorkStealing enables Algorithm 3 vertical alignment.
+	WorkStealing bool
+	// TailOptimization enables the tail-bubble local search (the second
+	// phase of Sec. V-C).
+	TailOptimization bool
+	// ExecOptions configure the executor used to evaluate tail-search
+	// candidates (and by callers to run the final schedule).
+	ExecOptions pipeline.Options
+	// Estimator, when set, predicts contention intensity from PMU features
+	// (Eq. 1). When nil, intensities are measured directly from solo
+	// profiles — the "external profiling" the estimator exists to avoid,
+	// kept as a fallback for custom SoCs without a trained model.
+	Estimator *contention.Estimator
+}
+
+// DefaultOptions returns the full Hetero²Pipe configuration.
+func DefaultOptions() Options {
+	return Options{
+		HighQuantile:     0.5,
+		Mitigation:       true,
+		WorkStealing:     true,
+		TailOptimization: true,
+		ExecOptions:      pipeline.DefaultOptions(),
+	}
+}
+
+// NoCTOptions returns the paper's "Hetero²Pipe (No C/T)" ablation: no
+// contention mitigation, no tail optimisation.
+func NoCTOptions() Options {
+	o := DefaultOptions()
+	o.Mitigation = false
+	o.TailOptimization = false
+	return o
+}
+
+// Planner plans multi-DNN pipelines for one SoC.
+type Planner struct {
+	soc  *soc.SoC
+	opts Options
+}
+
+// NewPlanner validates the SoC and returns a planner.
+func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.HighQuantile < 0 || opts.HighQuantile > 1 {
+		return nil, fmt.Errorf("core: high quantile %g outside [0,1]", opts.HighQuantile)
+	}
+	return &Planner{soc: s, opts: opts}, nil
+}
+
+// Plan is the planner's result: the executable schedule plus the
+// intermediate artefacts (ordering, classes, per-model cuts) the experiments
+// inspect.
+type Plan struct {
+	// Schedule is the executable pipeline plan (requests in mitigated
+	// order).
+	Schedule *pipeline.Schedule
+	// Order[p] is the original request index now at position p.
+	Order []int
+	// Classes[p] and Intensities[p] describe the request at position p.
+	Classes     []contention.Class
+	Intensities []float64
+	// Cuts[p] are the stage boundaries of the request at position p.
+	Cuts []pipeline.Cuts
+	// HorizontalMakespans[p] is the Algorithm-1 bottleneck stage time (s)
+	// of the request at position p.
+	HorizontalMakespans []float64
+}
+
+// PlanModels profiles the requests and runs the two-step optimisation:
+// horizontal DP partitioning per model (P1), contention-aware re-ordering
+// (P3), and vertical alignment with tail optimisation (P2).
+func (pl *Planner) PlanModels(models []*model.Model) (*Plan, error) {
+	profiles := make([]*profile.Profile, len(models))
+	for i, m := range models {
+		p, err := profile.New(pl.soc, m)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", m.Name, err)
+		}
+		profiles[i] = p
+	}
+	return pl.PlanProfiles(profiles)
+}
+
+// PlanProfiles is PlanModels for pre-built profiles (the planner never
+// re-profiles, matching the paper's measure-once workflow).
+func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
+	m := len(profiles)
+	if m == 0 {
+		return &Plan{Schedule: &pipeline.Schedule{SoC: pl.soc}}, nil
+	}
+	k := pl.soc.NumProcessors()
+
+	// Step 1 — horizontal: Algorithm 1 per model, independently.
+	cuts := make([]pipeline.Cuts, m)
+	makespans := make([]float64, m)
+	for i, p := range profiles {
+		c, best, err := Partition(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: partitioning %s: %w", p.Model().Name, err)
+		}
+		cuts[i] = c
+		makespans[i] = best
+	}
+
+	// Contention intensities and H/L classes.
+	intensities := make([]float64, m)
+	for i, p := range profiles {
+		if pl.opts.Estimator != nil {
+			intensities[i] = pl.opts.Estimator.Intensity(p.Model())
+		} else {
+			intensities[i] = measuredIntensity(p)
+		}
+	}
+	classes := contention.Classify(intensities, pl.opts.HighQuantile)
+
+	// Step 2a — ordering candidates: identity, a longest-first fill (big
+	// horizontal makespans enter the pipeline early so the drain tail is
+	// short), shortest-first, and — with mitigation enabled — the
+	// Algorithm-2 relocation applied to each. Every candidate runs through
+	// the full vertical machinery (step 2b/2c) and the executed makespan
+	// picks the winner: the re-ordering is a contention heuristic and the
+	// simulator is the oracle.
+	candidates := [][]int{identityOrder(m), longestFirstOrder(makespans), shortestFirstOrder(makespans)}
+	if pl.opts.Mitigation {
+		base := len(candidates)
+		for _, cand := range candidates[:base] {
+			mitigated := Mitigate(permuteClasses(classes, cand), k)
+			candidates = append(candidates, composeOrders(cand, mitigated))
+		}
+	}
+
+	var bestPlan *Plan
+	var bestSpan float64
+	for _, order := range candidates {
+		plan, span, err := pl.verticalPass(profiles, cuts, classes, intensities, makespans, order, k)
+		if err != nil {
+			return nil, err
+		}
+		if bestPlan == nil || span < bestSpan {
+			bestPlan, bestSpan = plan, span
+		}
+	}
+	return bestPlan, nil
+}
+
+// verticalPass runs steps 2b (guarded work stealing) and 2c (tail local
+// search) for one candidate ordering and returns the plan plus its executed
+// makespan in seconds.
+func (pl *Planner) verticalPass(profiles []*profile.Profile, cuts []pipeline.Cuts,
+	classes []contention.Class, intensities, makespans []float64,
+	order []int, k int) (*Plan, float64, error) {
+	m := len(order)
+	ordProfiles := make([]*profile.Profile, m)
+	ordCuts := make([]pipeline.Cuts, m)
+	ordClasses := make([]contention.Class, m)
+	ordIntensities := make([]float64, m)
+	ordMakespans := make([]float64, m)
+	for pos, orig := range order {
+		ordProfiles[pos] = profiles[orig]
+		c := make(pipeline.Cuts, len(cuts[orig]))
+		copy(c, cuts[orig])
+		ordCuts[pos] = c
+		ordClasses[pos] = classes[orig]
+		ordIntensities[pos] = intensities[orig]
+		ordMakespans[pos] = makespans[orig]
+	}
+
+	// Step 2b — vertical: Algorithm 3 work stealing per contention window,
+	// accepted only when the executed makespan improves: alignment reduces
+	// the analytic bubbles (Eq. 3) but can extend co-execution overlap,
+	// and the slowdown model arbitrates.
+	if pl.opts.WorkStealing {
+		stolen := make([]pipeline.Cuts, m)
+		for i := range ordCuts {
+			stolen[i] = make(pipeline.Cuts, len(ordCuts[i]))
+			copy(stolen[i], ordCuts[i])
+		}
+		WorkSteal(ordProfiles, stolen, k)
+		keep, err := pl.betterCuts(ordProfiles, ordCuts, stolen)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: work stealing: %w", err)
+		}
+		ordCuts = keep
+	}
+
+	sched, err := pipeline.FromCuts(pl.soc, ordProfiles, ordCuts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: assembling schedule: %w", err)
+	}
+
+	// Step 2c — tail-bubble local search.
+	if pl.opts.TailOptimization {
+		sched, err = OptimizeTail(sched, pl.opts.ExecOptions)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: tail optimisation: %w", err)
+		}
+		for i := range ordCuts {
+			ordCuts[i] = cutsOf(sched, i)
+		}
+	}
+
+	res, err := pipeline.Execute(sched, pl.opts.ExecOptions)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: evaluating candidate order: %w", err)
+	}
+
+	return &Plan{
+		Schedule:            sched,
+		Order:               order,
+		Classes:             ordClasses,
+		Intensities:         ordIntensities,
+		Cuts:                ordCuts,
+		HorizontalMakespans: ordMakespans,
+	}, res.Makespan.Seconds(), nil
+}
+
+// measuredIntensity is the fallback ground-truth intensity: solo bus demand
+// on the reference (big CPU) processor, or the first processor that
+// supports the whole model.
+func measuredIntensity(p *profile.Profile) float64 {
+	n := p.NumLayers()
+	ref := -1
+	for k := 0; k < p.NumProcessors(); k++ {
+		if p.Table(k).Proc().Kind == soc.KindCPUBig && p.Table(k).Supported(0, n-1) {
+			ref = k
+			break
+		}
+	}
+	if ref < 0 {
+		for k := 0; k < p.NumProcessors(); k++ {
+			if p.Table(k).Supported(0, n-1) {
+				ref = k
+				break
+			}
+		}
+	}
+	if ref < 0 {
+		return 0
+	}
+	return p.Footprint(ref, 0, n-1).DemandGBps
+}
+
+// OptimizeTail performs the Sec. V-C second phase: a local search that, for
+// each request, exhaustively evaluates collapsing it onto each single
+// processor (search space K per request, as the paper notes) and keeps
+// whichever variant minimises the executed makespan. The sweep runs from
+// the pipeline tail backwards — the drain region where bubbles concentrate
+// — but covers every request, which also lets the planner discover
+// whole-model placements (Band-style) whenever slicing a request does not
+// pay its copy overheads. The Fig. 8 reference searchers apply the same
+// step to every candidate ordering so their search space strictly contains
+// the planner's.
+func OptimizeTail(sched *pipeline.Schedule, opts pipeline.Options) (*pipeline.Schedule, error) {
+	m := sched.NumRequests()
+	k := sched.NumStages()
+	if m == 0 {
+		return sched, nil
+	}
+	base, err := pipeline.Execute(sched, opts)
+	if err != nil {
+		return nil, err
+	}
+	bestSched, bestSpan := sched, base.Makespan
+
+	for i := m - 1; i >= 0; i-- {
+		n := sched.Profiles[i].NumLayers()
+		for proc := 0; proc < k; proc++ {
+			if !sched.Profiles[i].Table(proc).Supported(0, n-1) {
+				continue
+			}
+			cand := bestSched.Clone()
+			cand.Stages[i] = pipeline.SingleProcessor(n, proc, k).RangesOf()
+			res, err := pipeline.Execute(cand, opts)
+			if err != nil {
+				continue // infeasible variant; keep searching
+			}
+			if res.Makespan < bestSpan {
+				bestSched, bestSpan = cand, res.Makespan
+			}
+		}
+	}
+	return bestSched, nil
+}
+
+// identityOrder returns 0..m-1.
+func identityOrder(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// longestFirstOrder sorts request indices by descending horizontal
+// makespan, a classic pipeline-fill heuristic: long requests enter first so
+// the drain tail is short.
+func longestFirstOrder(makespans []float64) []int {
+	out := identityOrder(len(makespans))
+	sort.SliceStable(out, func(a, b int) bool {
+		return makespans[out[a]] > makespans[out[b]]
+	})
+	return out
+}
+
+// shortestFirstOrder sorts request indices by ascending horizontal
+// makespan: small requests fill quickly, keeping the fast processors fed
+// while the heavy tail drains.
+func shortestFirstOrder(makespans []float64) []int {
+	out := identityOrder(len(makespans))
+	sort.SliceStable(out, func(a, b int) bool {
+		return makespans[out[a]] < makespans[out[b]]
+	})
+	return out
+}
+
+// permuteClasses applies an ordering to a class slice.
+func permuteClasses(classes []contention.Class, order []int) []contention.Class {
+	out := make([]contention.Class, len(order))
+	for pos, orig := range order {
+		out[pos] = classes[orig]
+	}
+	return out
+}
+
+// composeOrders returns the ordering that first applies base and then the
+// relative permutation rel: out[p] = base[rel[p]].
+func composeOrders(base, rel []int) []int {
+	out := make([]int, len(base))
+	for p, r := range rel {
+		out[p] = base[r]
+	}
+	return out
+}
+
+// betterCuts returns whichever cut set executes faster for the fixed order.
+func (pl *Planner) betterCuts(profiles []*profile.Profile, a, b []pipeline.Cuts) ([]pipeline.Cuts, error) {
+	schedA, err := pipeline.FromCuts(pl.soc, profiles, a)
+	if err != nil {
+		return nil, err
+	}
+	resA, err := pipeline.Execute(schedA, pl.opts.ExecOptions)
+	if err != nil {
+		return nil, err
+	}
+	schedB, err := pipeline.FromCuts(pl.soc, profiles, b)
+	if err != nil {
+		// Stolen cuts can in principle assemble into an invalid schedule
+		// only through a bug; fall back to the originals defensively.
+		return a, nil
+	}
+	resB, err := pipeline.Execute(schedB, pl.opts.ExecOptions)
+	if err != nil {
+		return a, nil
+	}
+	if resB.Makespan < resA.Makespan {
+		return b, nil
+	}
+	return a, nil
+}
+
+// cutsOf recovers the boundary vector of request i from a schedule.
+func cutsOf(sched *pipeline.Schedule, i int) pipeline.Cuts {
+	k := sched.NumStages()
+	n := sched.Profiles[i].NumLayers()
+	c := make(pipeline.Cuts, k+1)
+	next := 0
+	for st := 0; st < k; st++ {
+		c[st] = next
+		r := sched.Stages[i][st]
+		if !r.Empty() {
+			next = r.To + 1
+		}
+	}
+	c[k] = n
+	return c
+}

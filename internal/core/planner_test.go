@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hetero2pipe/internal/contention"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+)
+
+func mustPlanner(t *testing.T, s *soc.SoC, opts Options) *Planner {
+	t.Helper()
+	pl, err := NewPlanner(s, opts)
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	return pl
+}
+
+func modelsOf(names ...string) []*model.Model {
+	out := make([]*model.Model, len(names))
+	for i, n := range names {
+		out[i] = model.MustByName(n)
+	}
+	return out
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	bad := soc.Kirin990()
+	bad.BusBandwidthGBps = -1
+	if _, err := NewPlanner(bad, DefaultOptions()); err == nil {
+		t.Error("invalid SoC accepted")
+	}
+	opts := DefaultOptions()
+	opts.HighQuantile = 2
+	if _, err := NewPlanner(soc.Kirin990(), opts); err == nil {
+		t.Error("invalid quantile accepted")
+	}
+}
+
+func TestPlanEndToEnd(t *testing.T) {
+	pl := mustPlanner(t, soc.Kirin990(), DefaultOptions())
+	plan, err := pl.PlanModels(modelsOf(
+		model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50,
+		model.MobileNetV2, model.ViT))
+	if err != nil {
+		t.Fatalf("PlanModels: %v", err)
+	}
+	if err := plan.Schedule.Validate(); err != nil {
+		t.Fatalf("planned schedule invalid: %v", err)
+	}
+	if len(plan.Order) != 6 || len(plan.Classes) != 6 || len(plan.Cuts) != 6 {
+		t.Fatalf("plan artefacts incomplete: %+v", plan)
+	}
+	seen := map[int]bool{}
+	for _, v := range plan.Order {
+		if seen[v] {
+			t.Fatalf("order %v not a permutation", plan.Order)
+		}
+		seen[v] = true
+	}
+	res, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	for i, h := range plan.HorizontalMakespans {
+		if h <= 0 || math.IsInf(h, 1) {
+			t.Errorf("request %d horizontal makespan %g", i, h)
+		}
+	}
+}
+
+// TestPlanBeatsSerial: the headline claim — the planned pipeline is several
+// times faster than serial big-CPU execution (the paper's MNN baseline).
+func TestPlanBeatsSerial(t *testing.T) {
+	s := soc.Kirin990()
+	names := []string{model.ResNet50, model.VGG16, model.SqueezeNet,
+		model.InceptionV4, model.MobileNetV2, model.GoogLeNet}
+	pl := mustPlanner(t, s, DefaultOptions())
+	plan, err := pl.PlanModels(modelsOf(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := serialCPUMakespan(t, s, names)
+	speedup := serial.Seconds() / res.Makespan.Seconds()
+	if speedup < 2 {
+		t.Errorf("speedup over serial CPU = %.2f×, want ≥ 2× (paper: 4.2× avg)", speedup)
+	}
+}
+
+func serialCPUMakespan(t *testing.T, s *soc.SoC, names []string) (total time.Duration) {
+	t.Helper()
+	bigIdx := s.ProcessorsOfKind(soc.KindCPUBig)[0]
+	for _, n := range names {
+		p := profileFor(t, s, n)
+		total += p.SliceTime(bigIdx, 0, p.NumLayers()-1)
+	}
+	return total
+}
+
+// TestPlanFullBeatsNoCT: contention mitigation + tail optimisation must not
+// hurt, and across a mixed workload should help (the paper's 1.3× average).
+func TestPlanFullBeatsNoCT(t *testing.T) {
+	s := soc.Kirin990()
+	names := []string{model.SqueezeNet, model.MobileNetV2, model.BERT,
+		model.YOLOv4, model.AlexNet, model.ResNet50, model.GoogLeNet, model.ViT}
+	full := mustPlanner(t, s, DefaultOptions())
+	noct := mustPlanner(t, s, NoCTOptions())
+	planFull, err := full.PlanModels(modelsOf(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planNoCT, err := noct.PlanModels(modelsOf(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFull, err := pipeline.Execute(planFull.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNoCT, err := pipeline.Execute(planNoCT.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFull.Makespan > resNoCT.Makespan {
+		t.Errorf("full H²P %v slower than No C/T %v", resFull.Makespan, resNoCT.Makespan)
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	pl := mustPlanner(t, soc.Kirin990(), DefaultOptions())
+	plan, err := pl.PlanModels(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Schedule.NumRequests() != 0 {
+		t.Error("empty plan has requests")
+	}
+}
+
+func TestPlanWithEstimator(t *testing.T) {
+	s := soc.Kirin990()
+	big := s.Processor("cpu-big")
+	est, err := contention.TrainEstimator(big, model.All(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Estimator = est
+	pl := mustPlanner(t, s, opts)
+	plan, err := pl.PlanModels(modelsOf(model.SqueezeNet, model.BERT, model.ViT, model.ResNet50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range plan.Intensities {
+		if v < 0 {
+			t.Errorf("intensity[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestPlanOnAllPresets(t *testing.T) {
+	for _, s := range soc.Presets() {
+		pl := mustPlanner(t, s, DefaultOptions())
+		plan, err := pl.PlanModels(modelsOf(model.BERT, model.SqueezeNet, model.YOLOv4, model.ResNet50))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if _, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions()); err != nil {
+			t.Fatalf("%s: execute: %v", s.Name, err)
+		}
+	}
+}
+
+// TestPlannedOrderNeverWorseThanIdentity: the ordering step evaluates the
+// identity order among its candidates, so the chosen order can only match
+// or beat it.
+func TestPlannedOrderNeverWorseThanIdentity(t *testing.T) {
+	s := soc.Kirin990()
+	names := []string{model.AlexNet, model.MobileNetV2, model.InceptionV4,
+		model.ViT, model.GoogLeNet, model.YOLOv4}
+	full := mustPlanner(t, s, DefaultOptions())
+	planFull, err := full.PlanModels(modelsOf(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity-order reference: mitigation and ordering candidates off,
+	// everything else identical.
+	optsID := DefaultOptions()
+	optsID.Mitigation = false
+	idPlanner := mustPlanner(t, s, optsID)
+	planID, err := idPlanner.PlanModels(modelsOf(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFull, err := pipeline.Execute(planFull.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resID, err := pipeline.Execute(planID.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both planners include the identity candidate; the full planner also
+	// sees mitigated candidates, so it can only do as well or better.
+	if resFull.Makespan.Seconds() > resID.Makespan.Seconds()*1.001 {
+		t.Errorf("full planner %v worse than identity-only %v", resFull.Makespan, resID.Makespan)
+	}
+	// Class labels still ride along for inspection.
+	highs := 0
+	for _, c := range planFull.Classes {
+		if c == contention.High {
+			highs++
+		}
+	}
+	if highs == 0 || highs == len(planFull.Classes) {
+		t.Errorf("degenerate H/L split: %v", planFull.Classes)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import "math/big"
+
+// Search-space accounting (paper Appendix A, Eq. 12–14). The paper counts
+// the feasible processor pipelines of a consumer SoC and the number of
+// distinct split-point choices per model to motivate why a two-step
+// decomposition is necessary. The published Eq. (12) is partially garbled in
+// the text, so this file implements the count from first principles under
+// the same assumptions: the big and small CPU clusters of C_b and C_s cores
+// can each be partitioned into 1..C contiguous per-core pipeline stages (a
+// composition, C(c−1, p−1) variants for p stages), the GPU and NPU are
+// indivisible optional stages, and a pipeline needs at least 2 stages.
+
+// binomial returns C(n, k) as int64 (0 when out of range).
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+	}
+	return r
+}
+
+// clusterArrangements returns the number of ways to run p pipeline stages on
+// a c-core cluster: compositions of c into p ordered positive parts. p = 0
+// (cluster unused) counts one arrangement.
+func clusterArrangements(c, p int) int64 {
+	if p == 0 {
+		return 1
+	}
+	return binomial(c-1, p-1)
+}
+
+// FeasiblePipelines counts the processor pipelines of an SoC with cBig big
+// cores, cSmall small cores, one GPU and one NPU: every combination of big
+// stages P_b ∈ [0, cBig], small stages P_s ∈ [0, cSmall] and accelerator
+// subset (none, GPU, NPU, both) with total stages ≥ 2. For the paper's
+// example (4+4 cores) this yields 319 pipelines; the paper reports 449 from
+// its Eq. (12), whose printed form does not evaluate — the order of
+// magnitude and the growth behaviour are what the argument uses.
+func FeasiblePipelines(cBig, cSmall int) int64 {
+	var total int64
+	for pb := 0; pb <= cBig; pb++ {
+		for ps := 0; ps <= cSmall; ps++ {
+			for acc := 0; acc <= 2; acc++ {
+				ways := int64(1)
+				if acc == 1 {
+					ways = 2 // GPU or NPU
+				}
+				if pb+ps+acc < 2 {
+					continue
+				}
+				total += clusterArrangements(cBig, pb) * clusterArrangements(cSmall, ps) * ways
+			}
+		}
+	}
+	return total
+}
+
+// SplitChoices counts the distinct split-point choices of one n-layer model
+// over pipelines of 2..maxStages stages: Σ_P C(n−1, P−1) · S_P, where S_P is
+// the number of feasible P-stage pipelines (Eq. 14's per-model factor).
+func SplitChoices(n, cBig, cSmall int) *big.Int {
+	maxStages := cBig + cSmall + 2
+	total := big.NewInt(0)
+	for p := 2; p <= maxStages; p++ {
+		sp := pipelinesWithStages(cBig, cSmall, p)
+		if sp == 0 {
+			continue
+		}
+		splits := new(big.Int).Binomial(int64(n-1), int64(p-1))
+		splits.Mul(splits, big.NewInt(sp))
+		total.Add(total, splits)
+	}
+	return total
+}
+
+// pipelinesWithStages counts feasible pipelines with exactly p stages.
+func pipelinesWithStages(cBig, cSmall, p int) int64 {
+	if p < 2 {
+		return 0
+	}
+	var total int64
+	for pb := 0; pb <= cBig && pb <= p; pb++ {
+		for ps := 0; ps <= cSmall && pb+ps <= p; ps++ {
+			acc := p - pb - ps
+			if acc < 0 || acc > 2 {
+				continue
+			}
+			ways := int64(1)
+			if acc == 1 {
+				ways = 2
+			}
+			total += clusterArrangements(cBig, pb) * clusterArrangements(cSmall, ps) * ways
+		}
+	}
+	return total
+}
+
+// TotalSearchSpace multiplies the per-model split choices over a request set
+// (Eq. 14): the exponential blow-up that motivates the two-step planner.
+func TotalSearchSpace(layerCounts []int, cBig, cSmall int) *big.Int {
+	total := big.NewInt(1)
+	for _, n := range layerCounts {
+		total.Mul(total, SplitChoices(n, cBig, cSmall))
+	}
+	return total
+}

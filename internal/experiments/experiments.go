@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate. Each experiment is a named runner
+// returning a textual report plus named metrics; cmd/experiments prints the
+// reports and the root bench suite exercises the same runners.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives every random choice; identical seeds give identical
+	// reports.
+	Seed int64
+	// Combos is the number of random model combinations for Fig. 7/8 (the
+	// paper uses 100).
+	Combos int
+	// Quick shrinks workloads for fast test/bench runs.
+	Quick bool
+}
+
+// DefaultConfig mirrors the paper's scale.
+func DefaultConfig() Config {
+	return Config{Seed: 2025, Combos: 100}
+}
+
+// QuickConfig is a reduced configuration for tests and benchmarks.
+func QuickConfig() Config {
+	return Config{Seed: 2025, Combos: 8, Quick: true}
+}
+
+// Report is one regenerated table/figure.
+type Report struct {
+	// ID is the experiment identifier, e.g. "fig7".
+	ID string
+	// Title describes the paper artefact.
+	Title string
+	// Lines are the formatted rows of the regenerated table/series.
+	Lines []string
+	// Metrics exposes named scalars for tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+// add appends a formatted line.
+func (r *Report) add(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// metric records a named scalar.
+func (r *Report) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("-- metrics --\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s = %.6g\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// Runner regenerates one artefact.
+type Runner func(Config) (*Report, error)
+
+// experimentIDs lists the experiments in presentation order.
+var experimentIDs = []string{
+	"fig1", "fig2a", "fig2b", "tab2", "eq1", "fig7",
+	"fig8a", "fig8b", "fig9", "fig10", "fig12", "fig13", "searchspace", "appB", "appD", "clustersplit", "energy", "sensitivity", "depth",
+}
+
+// titles describes each experiment (kept separate from the runner table to
+// avoid an initialisation cycle: runners themselves call Title).
+var titles = map[string]string{
+	"fig1":         "Solo processing latency of each model on each processor",
+	"fig2a":        "Queueing delay: serial CPU vs heterogeneous execution",
+	"fig2b":        "Per-model resource demands and contention-intensity ranking",
+	"tab2":         "Solo vs co-execution slowdown of model pairs (Table II)",
+	"eq1":          "Ridge regression of contention intensity from PMU features",
+	"fig7":         "Overall latency/throughput vs baselines on three SoCs",
+	"fig8a":        "Vertical optimisation vs exhaustive search and annealing",
+	"fig8b":        "Component ablation of Hetero²Pipe",
+	"fig9":         "Memory frequency and footprint under pipeline tiers",
+	"fig10":        "Intra-cluster CPU co-execution slowdown",
+	"fig12":        "Pipeline bubbles vs overall latency linearity",
+	"fig13":        "Batched inference latency growth per processor",
+	"searchspace":  "Pipeline/search-space counting (Appendix A)",
+	"appB":         "Thermal trajectories and steady-state throttling (Appendix B)",
+	"appD":         "Batching lightweight request streams (Appendix D)",
+	"clustersplit": "Whole-cluster vs per-core-split scheduling (Appendix A remark)",
+	"energy":       "Energy per inference across schemes (extension)",
+	"sensitivity":  "Design-space sweeps: NPU scale and bus bandwidth (extension)",
+	"depth":        "Pipeline-depth ablation and intra-op baseline (extension)",
+}
+
+// runnerFor resolves an experiment ID lazily (avoids init cycles).
+func runnerFor(id string) Runner {
+	switch id {
+	case "fig1":
+		return RunFig1
+	case "fig2a":
+		return RunFig2a
+	case "fig2b":
+		return RunFig2b
+	case "tab2":
+		return RunTable2
+	case "eq1":
+		return RunEq1
+	case "fig7":
+		return RunFig7
+	case "fig8a":
+		return RunFig8a
+	case "fig8b":
+		return RunFig8b
+	case "fig9":
+		return RunFig9
+	case "fig10":
+		return RunFig10
+	case "fig12":
+		return RunFig12
+	case "fig13":
+		return RunFig13
+	case "searchspace":
+		return RunSearchSpace
+	case "appB":
+		return RunAppBThermal
+	case "appD":
+		return RunAppDBatching
+	case "clustersplit":
+		return RunClusterSplit
+	case "energy":
+		return RunEnergy
+	case "sensitivity":
+		return RunSensitivity
+	case "depth":
+		return RunDepth
+	}
+	return nil
+}
+
+// IDs returns the experiment identifiers in presentation order.
+func IDs() []string {
+	out := make([]string, len(experimentIDs))
+	copy(out, experimentIDs)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Report, error) {
+	if r := runnerFor(id); r != nil {
+		return r(cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Title returns an experiment's description.
+func Title(id string) string { return titles[id] }

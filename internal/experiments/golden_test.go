@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden snapshot regression net: the quick-config metrics of every
+// experiment, recorded in testdata/golden.json. All randomness is seeded
+// and the simulator has a virtual clock, so metrics are bit-stable; any
+// drift flags an unintended behaviour change. Regenerate intentionally with
+//
+//	go test ./internal/experiments -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current behaviour")
+
+// goldenSkip lists metrics that legitimately vary run to run (wall-clock
+// planning costs).
+var goldenSkip = map[string]bool{
+	"fig8a/h2p_plan_ms":        true,
+	"fig8a/sa_plan_ms":         true,
+	"fig8a/exhaustive_plan_ms": true,
+}
+
+func TestGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison runs every experiment")
+	}
+	current := make(map[string]float64)
+	for _, id := range IDs() {
+		r, err := Run(id, QuickConfig())
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		for k, v := range r.Metrics {
+			key := id + "/" + k
+			if goldenSkip[key] {
+				continue
+			}
+			current[key] = v
+		}
+	}
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d metrics to %s", len(current), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("no golden file (%v); run with -update-golden to create one", err)
+	}
+	var want map[string]float64
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	for k, w := range want {
+		got, ok := current[k]
+		if !ok {
+			t.Errorf("metric %s missing from current run", k)
+			continue
+		}
+		if !almostEqual(got, w) {
+			t.Errorf("metric %s drifted: golden %g, current %g", k, w, got)
+		}
+	}
+	for k := range current {
+		if _, ok := want[k]; !ok {
+			t.Errorf("new metric %s not in golden file (re-run with -update-golden)", k)
+		}
+	}
+}
+
+// almostEqual tolerates floating-point formatting noise only.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

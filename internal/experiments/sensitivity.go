@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stats"
+	"hetero2pipe/internal/workload"
+)
+
+// RunSensitivity is a design-space extension: how do the scheme rankings
+// shift as the hardware scales? Two sweeps on a Kirin 990 base:
+//
+//   - NPU peak ×{0.25, 0.5, 1, 2, 4}: with a weak NPU, pipeline planning
+//     across CPU/GPU carries the win; with an overwhelming NPU, Band-style
+//     whole-model offload converges toward H²P.
+//   - Bus bandwidth ×{0.5, 1, 2}: scarcer bandwidth raises co-execution
+//     slowdown, which widens the gap between full Hetero²Pipe and its
+//     contention-blind No-C/T ablation — the paper's core motivation.
+func RunSensitivity(cfg Config) (*Report, error) {
+	r := &Report{ID: "sensitivity", Title: Title("sensitivity")}
+	combos := cfg.Combos
+	if combos <= 0 {
+		combos = 100
+	}
+	if cfg.Quick && combos > 6 {
+		combos = 6
+	}
+	gen, err := workload.NewGenerator(cfg.Seed+6, 3, 6)
+	if err != nil {
+		return nil, err
+	}
+	comboNames := gen.Combos(combos)
+
+	meanLatency := func(scheme string, s *soc.SoC) (float64, error) {
+		var lats []float64
+		for _, names := range comboNames {
+			profs, err := mustProfiles(s, names)
+			if err != nil {
+				return 0, err
+			}
+			res, err := runSchemeFull(scheme, s, profs)
+			if err != nil {
+				return 0, err
+			}
+			lats = append(lats, res.Makespan.Seconds())
+		}
+		return stats.Mean(lats), nil
+	}
+
+	r.add("NPU-scale sweep (Kirin 990 base):")
+	r.add("%-6s %12s %12s %12s %16s", "scale", "MNN", "Band", "H²P", "H²P vs Band")
+	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+		s := scaledNPU(scale)
+		mnn, err := meanLatency("MNN", s)
+		if err != nil {
+			return nil, err
+		}
+		band, err := meanLatency("Band", s)
+		if err != nil {
+			return nil, err
+		}
+		h2p, err := meanLatency("H2P", s)
+		if err != nil {
+			return nil, err
+		}
+		r.add("%-6.2g %10.1fms %10.1fms %10.1fms %15.2f×", scale, mnn*1e3, band*1e3, h2p*1e3, band/h2p)
+		r.metric(fmt.Sprintf("npu%.2g_band_vs_h2p", scale), band/h2p)
+		r.metric(fmt.Sprintf("npu%.2g_mnn_vs_h2p", scale), mnn/h2p)
+	}
+
+	r.add("bus-bandwidth sweep (Kirin 990 base):")
+	r.add("%-6s %12s %12s %16s", "scale", "NoC/T", "H²P", "C/T advantage")
+	for _, scale := range []float64{0.5, 1, 2} {
+		s := scaledBus(scale)
+		noct, err := meanLatency("NoC/T", s)
+		if err != nil {
+			return nil, err
+		}
+		h2p, err := meanLatency("H2P", s)
+		if err != nil {
+			return nil, err
+		}
+		r.add("%-6.2g %10.1fms %10.1fms %15.2f×", scale, noct*1e3, h2p*1e3, noct/h2p)
+		r.metric(fmt.Sprintf("bus%.2g_ct_advantage", scale), noct/h2p)
+	}
+	return r, nil
+}
+
+// scaledNPU returns a Kirin 990 whose NPU peak is scaled by f.
+func scaledNPU(f float64) *soc.SoC {
+	s := soc.Kirin990()
+	idx := s.ProcessorsOfKind(soc.KindNPU)[0]
+	s.Processors[idx].PeakGFLOPS *= f
+	return s
+}
+
+// scaledBus returns a Kirin 990 whose shared bus (and proportional copy
+// bandwidth) is scaled by f.
+func scaledBus(f float64) *soc.SoC {
+	s := soc.Kirin990()
+	s.BusBandwidthGBps *= f
+	s.CopyBandwidthGBps *= f
+	return s
+}

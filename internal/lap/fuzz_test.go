@@ -1,0 +1,93 @@
+package lap
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolve cross-checks the Hungarian solver against brute force on
+// arbitrary small instances decoded from fuzz input, including forbidden
+// (+Inf) entries.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{2, 2, 1, 2, 3, 4})
+	f.Add([]byte{3, 2, 10, 255, 3, 4, 255, 6})
+	f.Add([]byte{1, 4, 9, 9, 9, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		nr := int(data[0])%4 + 1
+		nc := int(data[1])%4 + 1
+		need := nr * nc
+		if len(data)-2 < need {
+			return
+		}
+		cost := make([][]float64, nr)
+		pos := 2
+		for i := 0; i < nr; i++ {
+			cost[i] = make([]float64, nc)
+			for j := 0; j < nc; j++ {
+				v := data[pos]
+				pos++
+				if v == 255 {
+					cost[i][j] = math.Inf(1) // forbidden
+				} else {
+					cost[i][j] = float64(v)
+				}
+			}
+		}
+		_, _, got, err := Solve(cost)
+		want, feasible := bruteForceWithForbidden(cost)
+		if !feasible {
+			if err != ErrInfeasible {
+				t.Fatalf("infeasible instance: Solve err = %v, want ErrInfeasible (cost %v)", err, cost)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("feasible instance rejected: %v (cost %v)", err, cost)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Solve = %g, brute force = %g (cost %v)", got, want, cost)
+		}
+	})
+}
+
+// bruteForceWithForbidden enumerates assignments of the smaller side,
+// skipping forbidden edges; feasible is false when no complete assignment
+// exists.
+func bruteForceWithForbidden(cost [][]float64) (best float64, feasible bool) {
+	nr, nc := len(cost), len(cost[0])
+	if nr > nc {
+		tr := make([][]float64, nc)
+		for j := 0; j < nc; j++ {
+			tr[j] = make([]float64, nr)
+			for i := 0; i < nr; i++ {
+				tr[j][i] = cost[i][j]
+			}
+		}
+		cost, nr, nc = tr, nc, nr
+	}
+	best = math.Inf(1)
+	used := make([]bool, nc)
+	var rec func(row int, acc float64)
+	rec = func(row int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if row == nr {
+			best = acc
+			return
+		}
+		for j := 0; j < nc; j++ {
+			if used[j] || math.IsInf(cost[row][j], 1) {
+				continue
+			}
+			used[j] = true
+			rec(row+1, acc+cost[row][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best, !math.IsInf(best, 1)
+}

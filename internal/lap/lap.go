@@ -1,0 +1,189 @@
+// Package lap solves the Linear Assignment Problem with the Kuhn–Munkres
+// (Hungarian) algorithm in O(n³), the solver the paper's contention
+// mitigation step (P3, Eq. 9–10) relies on. Rectangular cost matrices are
+// supported by implicit padding, and +Inf entries mark forbidden
+// assignments (the infeasible relocations of Eq. 10).
+package lap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no complete assignment avoids forbidden
+// (+Inf) entries.
+var ErrInfeasible = errors.New("lap: no feasible assignment")
+
+// Unassigned marks a row or column that received no partner (rectangular
+// instances leave the surplus side unmatched).
+const Unassigned = -1
+
+// Solve computes a minimum-cost assignment for the cost matrix. Row i
+// assigned to column j contributes cost[i][j]. When rows ≠ columns, the
+// smaller side is fully assigned and the surplus side keeps Unassigned
+// entries. It returns the per-row assignment, the per-column assignment and
+// the total cost.
+//
+// Entries of +Inf are forbidden; if every complete assignment of the smaller
+// side would use a forbidden entry, Solve returns ErrInfeasible. NaN or -Inf
+// entries are rejected.
+func Solve(cost [][]float64) (rowTo, colTo []int, total float64, err error) {
+	nr := len(cost)
+	if nr == 0 {
+		return nil, nil, 0, nil
+	}
+	nc := len(cost[0])
+	for i, row := range cost {
+		if len(row) != nc {
+			return nil, nil, 0, fmt.Errorf("lap: ragged cost matrix at row %d", i)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, -1) {
+				return nil, nil, 0, fmt.Errorf("lap: invalid cost at (%d, %d)", i, j)
+			}
+		}
+	}
+	if nc == 0 {
+		return nil, nil, 0, fmt.Errorf("lap: zero-width cost matrix")
+	}
+
+	// The JV-style shortest augmenting path formulation wants rows ≤ cols;
+	// transpose if needed.
+	transposed := false
+	work := cost
+	if nr > nc {
+		transposed = true
+		work = transpose(cost)
+		nr, nc = nc, nr
+	}
+
+	// forbidden entries become a large finite sentinel so potentials stay
+	// finite; feasibility is verified afterwards.
+	maxFinite := 0.0
+	for _, row := range work {
+		for _, c := range row {
+			if !math.IsInf(c, 1) && c > maxFinite {
+				maxFinite = c
+			}
+		}
+	}
+	big := (maxFinite + 1) * float64(nr+nc+1)
+	if big < 1 {
+		big = 1
+	}
+	get := func(i, j int) float64 {
+		c := work[i][j]
+		if math.IsInf(c, 1) {
+			return big
+		}
+		return c
+	}
+
+	// Shortest-augmenting-path Hungarian algorithm with 1-based columns
+	// internally (classic formulation).
+	u := make([]float64, nr+1)
+	v := make([]float64, nc+1)
+	p := make([]int, nc+1) // p[j]: row assigned to column j (0 = none)
+	way := make([]int, nc+1)
+	for i := 1; i <= nr; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, nc+1)
+		used := make([]bool, nc+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= nc; j++ {
+				if used[j] {
+					continue
+				}
+				cur := get(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= nc; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowAssign := make([]int, nr)
+	for i := range rowAssign {
+		rowAssign[i] = Unassigned
+	}
+	for j := 1; j <= nc; j++ {
+		if p[j] != 0 {
+			rowAssign[p[j]-1] = j - 1
+		}
+	}
+	for i, j := range rowAssign {
+		if j == Unassigned {
+			return nil, nil, 0, fmt.Errorf("lap: internal: row %d unassigned", i)
+		}
+		if math.IsInf(work[i][j], 1) {
+			return nil, nil, 0, ErrInfeasible
+		}
+		total += work[i][j]
+	}
+
+	if transposed {
+		// work rows were the original columns.
+		origRows := nc
+		rowTo = make([]int, origRows)
+		colTo = make([]int, nr)
+		for i := range rowTo {
+			rowTo[i] = Unassigned
+		}
+		for c, r := range rowAssign {
+			colTo[c] = r
+			rowTo[r] = c
+		}
+		return rowTo, colTo, total, nil
+	}
+	colTo = make([]int, nc)
+	for j := range colTo {
+		colTo[j] = Unassigned
+	}
+	for i, j := range rowAssign {
+		colTo[j] = i
+	}
+	return rowAssign, colTo, total, nil
+}
+
+func transpose(m [][]float64) [][]float64 {
+	nr, nc := len(m), len(m[0])
+	out := make([][]float64, nc)
+	for j := 0; j < nc; j++ {
+		out[j] = make([]float64, nr)
+		for i := 0; i < nr; i++ {
+			out[j][i] = m[i][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package lap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSquare(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	rowTo, colTo, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %g, want 5", total)
+	}
+	checkConsistent(t, rowTo, colTo)
+}
+
+func TestSolveIdentityOptimal(t *testing.T) {
+	cost := [][]float64{
+		{0, 9, 9},
+		{9, 0, 9},
+		{9, 9, 0},
+	}
+	rowTo, _, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total = %g, want 0", total)
+	}
+	for i, j := range rowTo {
+		if i != j {
+			t.Errorf("rowTo[%d] = %d, want diagonal", i, j)
+		}
+	}
+}
+
+func TestSolveRectangularWide(t *testing.T) {
+	// 2 rows, 4 columns: both rows assigned, two columns unassigned.
+	cost := [][]float64{
+		{8, 1, 7, 9},
+		{6, 5, 1, 9},
+	}
+	rowTo, colTo, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Errorf("total = %g, want 2", total)
+	}
+	if rowTo[0] != 1 || rowTo[1] != 2 {
+		t.Errorf("rowTo = %v", rowTo)
+	}
+	unassigned := 0
+	for _, r := range colTo {
+		if r == Unassigned {
+			unassigned++
+		}
+	}
+	if unassigned != 2 {
+		t.Errorf("colTo = %v, want 2 unassigned", colTo)
+	}
+}
+
+func TestSolveRectangularTall(t *testing.T) {
+	// 4 rows, 2 columns: both columns assigned, two rows unassigned.
+	cost := [][]float64{
+		{8, 6},
+		{1, 5},
+		{7, 1},
+		{9, 9},
+	}
+	rowTo, colTo, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Errorf("total = %g, want 2", total)
+	}
+	checkConsistent(t, rowTo, colTo)
+	unassigned := 0
+	for _, c := range rowTo {
+		if c == Unassigned {
+			unassigned++
+		}
+	}
+	if unassigned != 2 {
+		t.Errorf("rowTo = %v, want 2 unassigned", rowTo)
+	}
+}
+
+func TestSolveForbidden(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	rowTo, _, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || rowTo[0] != 1 || rowTo[1] != 0 {
+		t.Errorf("rowTo = %v total = %g, want anti-diagonal cost 2", rowTo, total)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, inf},
+		{1, 2},
+	}
+	if _, _, _, err := Solve(cost); err != ErrInfeasible {
+		t.Errorf("Solve = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveInvalidInput(t *testing.T) {
+	if _, _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix: nil error")
+	}
+	if _, _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost: nil error")
+	}
+	if _, _, _, err := Solve([][]float64{{math.Inf(-1)}}); err == nil {
+		t.Error("-Inf cost: nil error")
+	}
+	if _, _, _, err := Solve([][]float64{{}}); err == nil {
+		t.Error("zero-width matrix: nil error")
+	}
+	rowTo, colTo, total, err := Solve(nil)
+	if err != nil || rowTo != nil || colTo != nil || total != 0 {
+		t.Error("empty matrix should solve trivially")
+	}
+}
+
+// TestSolveMatchesBruteForce cross-checks the Hungarian result against
+// exhaustive enumeration on random small instances.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		_, _, got, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForce(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Solve = %g, brute force = %g, cost = %v", trial, got, want, cost)
+		}
+	}
+}
+
+// Property: permuting rows never changes the optimal total.
+func TestSolvePermutationInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(100))
+			}
+		}
+		_, _, a, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		shuffled := make([][]float64, n)
+		for i, pi := range perm {
+			shuffled[i] = cost[pi]
+		}
+		_, _, b, err := Solve(shuffled)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForce(cost [][]float64) float64 {
+	nr, nc := len(cost), len(cost[0])
+	if nr > nc {
+		// transpose so rows ≤ cols
+		tr := make([][]float64, nc)
+		for j := 0; j < nc; j++ {
+			tr[j] = make([]float64, nr)
+			for i := 0; i < nr; i++ {
+				tr[j][i] = cost[i][j]
+			}
+		}
+		cost, nr, nc = tr, nc, nr
+	}
+	best := math.Inf(1)
+	used := make([]bool, nc)
+	var rec func(row int, acc float64)
+	rec = func(row int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if row == nr {
+			best = acc
+			return
+		}
+		for j := 0; j < nc; j++ {
+			if !used[j] {
+				used[j] = true
+				rec(row+1, acc+cost[row][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func checkConsistent(t *testing.T, rowTo, colTo []int) {
+	t.Helper()
+	for i, j := range rowTo {
+		if j != Unassigned && colTo[j] != i {
+			t.Errorf("inconsistent: rowTo[%d]=%d but colTo[%d]=%d", i, j, j, colTo[j])
+		}
+	}
+	for j, i := range colTo {
+		if i != Unassigned && rowTo[i] != j {
+			t.Errorf("inconsistent: colTo[%d]=%d but rowTo[%d]=%d", j, i, i, rowTo[i])
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package model
+
+import "fmt"
+
+// Batched returns a model representing `batch` inputs processed together:
+// per-layer FLOPs and activation tensors scale with the batch while the
+// weights are shared — the property that makes batching lightweight models
+// profitable (paper Appendix D): one weight-load amortises across the whole
+// batch and the batched stage duration becomes comparable to heavy models'.
+//
+// Working sets grow only by their activation component; the weight tiles
+// are reused across the batch.
+func Batched(m *Model, batch int) *Model {
+	if batch <= 1 {
+		return m.Clone()
+	}
+	b := int64(batch)
+	out := &Model{
+		Name:       fmt.Sprintf("%s×%d", m.Name, batch),
+		Layers:     make([]Layer, len(m.Layers)),
+		InputBytes: m.InputBytes * b,
+	}
+	for i, l := range m.Layers {
+		nl := l
+		nl.FLOPs = l.FLOPs * float64(batch)
+		nl.InputBytes = l.InputBytes * b
+		nl.OutputBytes = l.OutputBytes * b
+		actWS := l.WorkingSetBytes - l.WeightBytes
+		if actWS < 0 {
+			actWS = 0
+		}
+		nl.WorkingSetBytes = l.WeightBytes + actWS*b
+		out.Layers[i] = nl
+	}
+	return out
+}

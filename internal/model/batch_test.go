@@ -1,0 +1,66 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchedScaling(t *testing.T) {
+	m := MustByName(MobileNetV2)
+	b4 := Batched(m, 4)
+	if err := b4.Validate(); err != nil {
+		t.Fatalf("batched model invalid: %v", err)
+	}
+	if b4.TotalFLOPs() != 4*m.TotalFLOPs() {
+		t.Errorf("FLOPs %.0f != 4× base %.0f", b4.TotalFLOPs(), m.TotalFLOPs())
+	}
+	if b4.TotalWeightBytes() != m.TotalWeightBytes() {
+		t.Error("batching must not duplicate weights")
+	}
+	if b4.InputBytes != 4*m.InputBytes {
+		t.Error("batched input size mismatch")
+	}
+	if b4.Name == m.Name {
+		t.Error("batched model keeps the base name")
+	}
+}
+
+func TestBatchedIdentity(t *testing.T) {
+	m := MustByName(SqueezeNet)
+	for _, n := range []int{0, 1, -3} {
+		b := Batched(m, n)
+		if b.TotalFLOPs() != m.TotalFLOPs() || b.Name != m.Name {
+			t.Errorf("Batched(%d) should clone the base model", n)
+		}
+		// And it must be an independent copy.
+		b.Layers[0].FLOPs = -1
+		if m.Layers[0].FLOPs == -1 {
+			t.Fatal("Batched(1) aliases the base layers")
+		}
+	}
+}
+
+// Property: batched working sets never shrink and weight bytes per layer
+// are preserved for any batch size.
+func TestBatchedProperty(t *testing.T) {
+	m := MustByName(GoogLeNet)
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		b := Batched(m, n)
+		for i := range m.Layers {
+			if b.Layers[i].WeightBytes != m.Layers[i].WeightBytes {
+				return false
+			}
+			if b.Layers[i].WorkingSetBytes < m.Layers[i].WorkingSetBytes {
+				return false
+			}
+			if b.Layers[i].FLOPs != float64(n)*m.Layers[i].FLOPs {
+				return false
+			}
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

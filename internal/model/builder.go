@@ -1,0 +1,179 @@
+package model
+
+import "fmt"
+
+// bytesPerElem is the storage size of one tensor element; the paper's mobile
+// deployments run FP16.
+const bytesPerElem = 2
+
+// chain incrementally builds a model's layer sequence while tracking the
+// current feature-map shape, so tensor-size continuity (layer i input ==
+// layer i-1 output) holds by construction. Branchy modules (inception, fire,
+// residual, YOLO routes) are serialised into equivalent-cost chains: the
+// planner slices the topological order, so only the cost profile along the
+// chain matters, not the exact dataflow graph.
+type chain struct {
+	name    string
+	layers  []Layer
+	h, w, c int // current spatial feature map (h=w=0 for 1-D token tensors)
+	elems   int // current tensor element count
+	counter int
+}
+
+// newChain starts a chain for an image network with input h×w×c.
+func newChain(name string, h, w, c int) *chain {
+	return &chain{name: name, h: h, w: w, c: c, elems: h * w * c}
+}
+
+// newTokenChain starts a chain for a token network with seqLen×dim input.
+func newTokenChain(name string, seqLen, dim int) *chain {
+	return &chain{name: name, elems: seqLen * dim}
+}
+
+func (b *chain) curBytes() int64 { return int64(b.elems) * bytesPerElem }
+
+func (b *chain) push(kind OpKind, label string, flops float64, outElems int, weightBytes, workingSet int64) {
+	b.counter++
+	in := b.curBytes()
+	b.elems = outElems
+	b.layers = append(b.layers, Layer{
+		Name:            fmt.Sprintf("%s_%d", label, b.counter),
+		Kind:            kind,
+		FLOPs:           flops,
+		InputBytes:      in,
+		OutputBytes:     b.curBytes(),
+		WeightBytes:     weightBytes,
+		WorkingSetBytes: workingSet,
+	})
+}
+
+// conv appends a k×k convolution with stride s producing outC channels.
+// FLOPs follow the standard 2·k²·Cin·Cout·Hout·Wout count.
+func (b *chain) conv(outC, k, s int) {
+	outH := (b.h + s - 1) / s
+	outW := (b.w + s - 1) / s
+	flops := 2 * float64(k*k*b.c*outC) * float64(outH*outW)
+	weights := int64(k*k*b.c*outC) * bytesPerElem
+	// Working set: weight tile plus an input stripe of k rows.
+	ws := weights + int64(k*b.w*b.c)*bytesPerElem
+	b.h, b.w = outH, outW
+	b.c = outC
+	b.push(OpConv, "conv", flops, outH*outW*outC, weights, ws)
+}
+
+// dwConv appends a depthwise k×k convolution with stride s (channel count
+// preserved), the MobileNet building block.
+func (b *chain) dwConv(k, s int) {
+	outH := (b.h + s - 1) / s
+	outW := (b.w + s - 1) / s
+	flops := 2 * float64(k*k*b.c) * float64(outH*outW)
+	weights := int64(k*k*b.c) * bytesPerElem
+	ws := weights + int64(k*b.w*b.c)*bytesPerElem
+	b.h, b.w = outH, outW
+	b.push(OpDepthwiseConv, "dwconv", flops, outH*outW*b.c, weights, ws)
+}
+
+// pool appends a k×k pooling with stride s.
+func (b *chain) pool(k, s int) {
+	outH := (b.h + s - 1) / s
+	outW := (b.w + s - 1) / s
+	flops := float64(k*k) * float64(outH*outW*b.c)
+	b.h, b.w = outH, outW
+	b.push(OpPool, "pool", flops, outH*outW*b.c, 0, int64(k*b.w*b.c)*bytesPerElem)
+}
+
+// globalPool collapses the spatial dimensions to 1×1.
+func (b *chain) globalPool() {
+	flops := float64(b.h * b.w * b.c)
+	b.h, b.w = 1, 1
+	b.push(OpPool, "gap", flops, b.c, 0, b.curBytes())
+}
+
+// act appends an element-wise activation over the current tensor.
+func (b *chain) act() {
+	b.push(OpActivation, "act", float64(b.elems), b.elems, 0, b.curBytes())
+}
+
+// residual appends a residual addition (shape preserved).
+func (b *chain) residual() {
+	b.push(OpResidualAdd, "add", float64(b.elems), b.elems, 0, 2*b.curBytes())
+}
+
+// concat appends a channel concatenation yielding outC channels at the
+// current spatial size. It models inception joins and YOLO routes.
+func (b *chain) concat(outC int) {
+	b.c = outC
+	out := b.h * b.w * outC
+	b.push(OpConcat, "concat", float64(out), out, 0, int64(out)*bytesPerElem)
+}
+
+// upsample doubles the spatial resolution (YOLO neck).
+func (b *chain) upsample() {
+	b.h *= 2
+	b.w *= 2
+	out := b.h * b.w * b.c
+	b.push(OpUpsample, "upsample", float64(out), out, 0, int64(out)*bytesPerElem)
+}
+
+// fc appends a fully connected layer from the flattened current tensor to
+// outDim units. FC layers carry huge weight matrices relative to compute
+// (the 2–4× higher cache-miss source of Observation 2): the working set is
+// the full weight matrix.
+func (b *chain) fc(outDim int) {
+	in := b.elems
+	flops := 2 * float64(in) * float64(outDim)
+	weights := int64(in*outDim) * bytesPerElem
+	b.h, b.w, b.c = 0, 0, 0
+	b.push(OpFC, "fc", flops, outDim, weights, weights)
+}
+
+// flatten is implicit: fc consumes the flattened element count.
+
+// embedding appends a token-embedding lookup: vocab×dim table, seqLen×dim
+// output. Lookup tables are pure memory traffic.
+func (b *chain) embedding(vocab, seqLen, dim int) {
+	weights := int64(vocab*dim) * bytesPerElem
+	out := seqLen * dim
+	b.push(OpEmbedding, "embed", float64(out), out, weights, int64(out)*bytesPerElem)
+}
+
+// attention appends a fused multi-head self-attention layer over seqLen
+// tokens of width dim: QKV projections, scaled dot-product, output
+// projection. The d×d projection matrices exceed mobile L2 caches, making
+// this the paper's canonical memory-bound transformer operator.
+func (b *chain) attention(seqLen, dim int) {
+	proj := 2 * 4 * float64(seqLen) * float64(dim) * float64(dim) // QKV + output proj
+	attn := 2 * 2 * float64(seqLen) * float64(seqLen) * float64(dim)
+	weights := int64(4*dim*dim) * bytesPerElem
+	out := seqLen * dim
+	b.push(OpAttention, "attn", proj+attn, out, weights, weights)
+}
+
+// layerNorm appends a layer normalisation over the current tensor.
+func (b *chain) layerNorm(dim int) {
+	flops := 5 * float64(b.elems)
+	b.push(OpLayerNorm, "ln", flops, b.elems, int64(2*dim)*bytesPerElem, b.curBytes())
+}
+
+// matmul appends a dense seqLen×inDim → seqLen×outDim projection, the FFN
+// half-block of a transformer (the 768×3072 MatMul of Observation 2).
+func (b *chain) matmul(seqLen, inDim, outDim int) {
+	flops := 2 * float64(seqLen) * float64(inDim) * float64(outDim)
+	weights := int64(inDim*outDim) * bytesPerElem
+	out := seqLen * outDim
+	b.push(OpMatMul, "matmul", flops, out, weights, weights)
+}
+
+// softmax appends a softmax over the current tensor.
+func (b *chain) softmax() {
+	b.push(OpSoftmax, "softmax", 3*float64(b.elems), b.elems, 0, b.curBytes())
+}
+
+// build finalises the model.
+func (b *chain) build() *Model {
+	var in int64
+	if len(b.layers) > 0 {
+		in = b.layers[0].InputBytes
+	}
+	return &Model{Name: b.name, Layers: b.layers, InputBytes: in}
+}

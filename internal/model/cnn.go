@@ -1,0 +1,316 @@
+package model
+
+// Convolutional members of the zoo. Each constructor synthesises the layer
+// chain of the published architecture; layer counts, FLOP totals and
+// parameter sizes track the originals closely enough that the partitioning
+// and contention behaviour the paper reports is preserved (see DESIGN.md §1).
+
+// NewAlexNet builds AlexNet (Krizhevsky 2012): 5 conv + 3 FC layers,
+// ~1.4 GFLOPs, ~61 M parameters. The three FC layers hold >90 % of the
+// weights — the classic memory-bound tail of Observation 2.
+func NewAlexNet() *Model {
+	b := newChain("AlexNet", 227, 227, 3)
+	b.conv(96, 11, 4)
+	b.act()
+	b.pool(3, 2)
+	b.conv(256, 5, 1)
+	b.act()
+	b.pool(3, 2)
+	b.conv(384, 3, 1)
+	b.act()
+	b.conv(384, 3, 1)
+	b.act()
+	b.conv(256, 3, 1)
+	b.act()
+	b.pool(3, 2)
+	// Flatten 13x13x256 -> FC stack. Real AlexNet pools to 6x6; approximate
+	// the flattened width to keep the published ~59 M FC parameters.
+	b.pool(2, 2)
+	b.fc(4096)
+	b.act()
+	b.fc(4096)
+	b.act()
+	b.fc(1000)
+	return b.build()
+}
+
+// NewVGG16 builds VGG16: 13 conv + 3 FC layers, ~15.5 GFLOPs, ~138 M
+// parameters (102 M in fc6 alone).
+func NewVGG16() *Model {
+	b := newChain("VGG16", 224, 224, 3)
+	block := func(convs, outC int) {
+		for i := 0; i < convs; i++ {
+			b.conv(outC, 3, 1)
+			b.act()
+		}
+		b.pool(2, 2)
+	}
+	block(2, 64)
+	block(2, 128)
+	block(3, 256)
+	block(3, 512)
+	block(3, 512)
+	b.fc(4096)
+	b.act()
+	b.fc(4096)
+	b.act()
+	b.fc(1000)
+	return b.build()
+}
+
+// NewSqueezeNet builds SqueezeNet 1.1: 8 fire modules between a stem conv
+// and a final 1×1 classifier conv, ~0.7 GFLOPs, ~1.2 M parameters (4.8 MB
+// in the paper's packaging). Despite its size it is the paper's Observation-3
+// outlier: tiny compute over many small tensors yields a high solo
+// memory-traffic *rate*, hence high contention intensity.
+func NewSqueezeNet() *Model {
+	b := newChain("SqueezeNet", 224, 224, 3)
+	b.conv(64, 3, 2)
+	b.act()
+	b.pool(3, 2)
+	// fire(squeeze, expand): squeeze 1x1, then the 3x3 half of the expand
+	// stage; the cheap 1x1 expand branch is folded into the concat join.
+	fire := func(squeeze, expand int) {
+		b.conv(squeeze, 1, 1)
+		b.act()
+		b.conv(expand/2, 3, 1)
+		b.act()
+		b.concat(expand)
+	}
+	fire(16, 128)
+	fire(16, 128)
+	b.pool(3, 2)
+	fire(32, 256)
+	fire(32, 256)
+	b.pool(3, 2)
+	fire(48, 384)
+	fire(48, 384)
+	fire(64, 512)
+	fire(64, 512)
+	b.conv(1000, 1, 1)
+	b.globalPool()
+	return b.build()
+}
+
+// NewGoogLeNet builds GoogLeNet (Inception v1): stem plus 9 inception
+// modules, ~3 GFLOPs, ~7 M parameters (23 MB packaged). Like SqueezeNet it
+// is light in FLOPs but traffic-rate heavy (Observation 3).
+func NewGoogLeNet() *Model {
+	b := newChain("GoogLeNet", 224, 224, 3)
+	b.conv(64, 7, 2)
+	b.act()
+	b.pool(3, 2)
+	b.conv(64, 1, 1)
+	b.conv(192, 3, 1)
+	b.act()
+	b.pool(3, 2)
+	// inception(reduce, out): serialised as 1x1 reduce, 3x3 main conv, and
+	// a channel concat to the module's output width.
+	inception := func(reduce, out int) {
+		b.conv(reduce, 1, 1)
+		b.act()
+		b.conv(out*3/4, 3, 1)
+		b.act()
+		b.conv(out/8, 5, 1)
+		b.concat(out)
+	}
+	inception(96, 256)
+	inception(128, 480)
+	b.pool(3, 2)
+	inception(96, 512)
+	inception(112, 512)
+	inception(128, 512)
+	inception(144, 528)
+	inception(160, 832)
+	b.pool(3, 2)
+	inception(160, 832)
+	inception(192, 1024)
+	b.globalPool()
+	b.fc(1000)
+	return b.build()
+}
+
+// NewInceptionV4 builds Inception-v4: a 299×299 stem plus 4×A, 7×B and 3×C
+// inception blocks with reductions, ~12 GFLOPs, ~43 M parameters.
+func NewInceptionV4() *Model {
+	b := newChain("InceptionV4", 299, 299, 3)
+	// Stem.
+	b.conv(32, 3, 2)
+	b.act()
+	b.conv(32, 3, 1)
+	b.act()
+	b.conv(64, 3, 1)
+	b.act()
+	b.pool(3, 2)
+	b.conv(96, 3, 1)
+	b.concat(160)
+	b.conv(96, 3, 1)
+	b.act()
+	b.pool(3, 2)
+	b.concat(384)
+	blockA := func() {
+		b.conv(64, 1, 1)
+		b.act()
+		b.conv(96, 3, 1)
+		b.act()
+		b.conv(96, 3, 1)
+		b.concat(384)
+	}
+	for i := 0; i < 4; i++ {
+		blockA()
+	}
+	b.conv(384, 3, 2) // reduction A
+	b.concat(1024)
+	blockB := func() {
+		b.conv(192, 1, 1)
+		b.act()
+		b.conv(224, 3, 1)
+		b.act()
+		b.conv(256, 3, 1)
+		b.concat(1024)
+	}
+	for i := 0; i < 7; i++ {
+		blockB()
+	}
+	b.conv(320, 3, 2) // reduction B
+	b.concat(1536)
+	blockC := func() {
+		b.conv(256, 1, 1)
+		b.act()
+		b.conv(384, 3, 1)
+		b.concat(1536)
+	}
+	for i := 0; i < 3; i++ {
+		blockC()
+	}
+	b.globalPool()
+	b.fc(1000)
+	return b.build()
+}
+
+// NewResNet50 builds ResNet-50: a 7×7 stem plus 16 bottleneck blocks,
+// ~4.1 GFLOPs, ~25.5 M parameters.
+func NewResNet50() *Model {
+	b := newChain("ResNet50", 224, 224, 3)
+	b.conv(64, 7, 2)
+	b.act()
+	b.pool(3, 2)
+	bottleneck := func(mid, out, stride int) {
+		b.conv(mid, 1, 1)
+		b.act()
+		b.conv(mid, 3, stride)
+		b.act()
+		b.conv(out, 1, 1)
+		b.residual()
+		b.act()
+	}
+	stage := func(blocks, mid, out, stride int) {
+		bottleneck(mid, out, stride)
+		for i := 1; i < blocks; i++ {
+			bottleneck(mid, out, 1)
+		}
+	}
+	stage(3, 64, 256, 1)
+	stage(4, 128, 512, 2)
+	stage(6, 256, 1024, 2)
+	stage(3, 512, 2048, 2)
+	b.globalPool()
+	b.fc(1000)
+	return b.build()
+}
+
+// NewMobileNetV2 builds MobileNetV2: 17 inverted-residual blocks of
+// expand/dwconv/project, ~0.6 GFLOPs, ~3.5 M parameters.
+func NewMobileNetV2() *Model {
+	b := newChain("MobileNetV2", 224, 224, 3)
+	b.conv(32, 3, 2)
+	b.act()
+	inverted := func(expand, out, stride int, residual bool) {
+		b.conv(expand, 1, 1)
+		b.act()
+		b.dwConv(3, stride)
+		b.act()
+		b.conv(out, 1, 1)
+		if residual {
+			b.residual()
+		}
+	}
+	inverted(32, 16, 1, false)
+	inverted(96, 24, 2, false)
+	inverted(144, 24, 1, true)
+	inverted(144, 32, 2, false)
+	inverted(192, 32, 1, true)
+	inverted(192, 32, 1, true)
+	inverted(192, 64, 2, false)
+	for i := 0; i < 3; i++ {
+		inverted(384, 64, 1, true)
+	}
+	inverted(384, 96, 1, false)
+	inverted(576, 96, 1, true)
+	inverted(576, 96, 1, true)
+	inverted(576, 160, 2, false)
+	inverted(960, 160, 1, true)
+	inverted(960, 160, 1, true)
+	inverted(960, 320, 1, false)
+	b.conv(1280, 1, 1)
+	b.act()
+	b.globalPool()
+	b.fc(1000)
+	return b.build()
+}
+
+// NewYOLOv4 builds YOLOv4 at 416×416: a CSPDarknet53 backbone, SPP+PANet
+// neck with upsampling routes (NPU-unsupported, forcing the fallback the
+// paper observes), and three detection heads. ~60 GFLOPs, ~64 M parameters.
+func NewYOLOv4() *Model {
+	b := newChain("YOLOv4", 416, 416, 3)
+	b.conv(32, 3, 1)
+	b.act()
+	cspStage := func(blocks, out int) {
+		b.conv(out, 3, 2) // downsample
+		b.act()
+		for i := 0; i < blocks; i++ {
+			b.conv(out/2, 1, 1)
+			b.act()
+			b.conv(out, 3, 1)
+			b.residual()
+		}
+		b.concat(out)
+	}
+	cspStage(1, 64)
+	cspStage(2, 128)
+	cspStage(8, 256)
+	cspStage(8, 512)
+	cspStage(4, 1024)
+	// SPP.
+	b.conv(512, 1, 1)
+	b.act()
+	b.pool(5, 1)
+	b.concat(2048)
+	b.conv(512, 1, 1)
+	b.act()
+	// PANet neck with two upsample routes.
+	b.conv(256, 1, 1)
+	b.upsample()
+	b.concat(512)
+	b.conv(256, 3, 1)
+	b.act()
+	b.conv(128, 1, 1)
+	b.upsample()
+	b.concat(256)
+	b.conv(128, 3, 1)
+	b.act()
+	// Heads (serialised): small, medium, large object scales.
+	b.conv(256, 3, 1)
+	b.act()
+	b.conv(255, 1, 1)
+	b.conv(256, 3, 2)
+	b.act()
+	b.conv(512, 3, 1)
+	b.conv(255, 1, 1)
+	b.conv(512, 3, 2)
+	b.act()
+	b.conv(1024, 3, 1)
+	b.conv(255, 1, 1)
+	return b.build()
+}

@@ -1,0 +1,116 @@
+package model
+
+// Extra networks beyond the ten-model evaluation collection: the
+// scene-understanding application of the paper's introduction is "comprised
+// of YOLO for robust object detection, FaceNet, Age/GenderNet for facial,
+// age and gender recognition and ViT-GPT2 for scene-to-text captioning".
+// These constructors provide the missing three so the example application
+// can run the actual mix; they are registered separately (ExtraNames) so
+// the evaluation experiments keep operating on the paper's ten models.
+
+// Extra model names.
+const (
+	FaceNet      = "FaceNet"
+	AgeGenderNet = "AgeGenderNet"
+	GPT2Decoder  = "GPT2Decoder"
+)
+
+var extraBuilders = map[string]func() *Model{
+	FaceNet:      NewFaceNet,
+	AgeGenderNet: NewAgeGenderNet,
+	GPT2Decoder:  NewGPT2Decoder,
+}
+
+// ExtraNames returns the extra model names in deterministic order.
+func ExtraNames() []string {
+	return []string{AgeGenderNet, FaceNet, GPT2Decoder}
+}
+
+// NewFaceNet builds a FaceNet-style Inception-ResNet-v1 face-embedding
+// network on 160×160 crops: stem, three inception-resnet stages with
+// reductions, and a 128-d embedding head. ~1.6 GFLOPs, ~24 M parameters.
+func NewFaceNet() *Model {
+	b := newChain("FaceNet", 160, 160, 3)
+	b.conv(32, 3, 2)
+	b.act()
+	b.conv(64, 3, 1)
+	b.act()
+	b.pool(3, 2)
+	b.conv(80, 1, 1)
+	b.conv(192, 3, 1)
+	b.act()
+	b.conv(256, 3, 2)
+	block := func(mid int, out int) {
+		b.conv(mid, 1, 1)
+		b.act()
+		b.conv(mid, 3, 1)
+		b.act()
+		b.conv(out, 1, 1)
+		b.residual()
+		b.act()
+	}
+	for i := 0; i < 5; i++ { // inception-resnet-A ×5
+		block(32, 256)
+	}
+	b.conv(384, 3, 2) // reduction-A
+	b.concat(896)
+	for i := 0; i < 10; i++ { // inception-resnet-B ×10
+		block(128, 896)
+	}
+	b.conv(256, 3, 2) // reduction-B
+	b.concat(1792)
+	for i := 0; i < 5; i++ { // inception-resnet-C ×5
+		block(192, 1792)
+	}
+	b.globalPool()
+	b.fc(128) // embedding
+	return b.build()
+}
+
+// NewAgeGenderNet builds the Levi–Hassner age/gender CNN on 227×227 crops:
+// three conv blocks and two 512-wide FC layers. ~0.8 GFLOPs, ~11 M
+// parameters — a classic lightweight attribute classifier.
+func NewAgeGenderNet() *Model {
+	b := newChain("AgeGenderNet", 227, 227, 3)
+	b.conv(96, 7, 4)
+	b.act()
+	b.pool(3, 2)
+	b.conv(256, 5, 1)
+	b.act()
+	b.pool(3, 2)
+	b.conv(384, 3, 1)
+	b.act()
+	b.pool(3, 2)
+	b.pool(2, 2) // approach the flattened width of the original
+	b.fc(512)
+	b.act()
+	b.fc(512)
+	b.act()
+	b.fc(10) // 8 age buckets / 2 genders share the backbone
+	return b.build()
+}
+
+// GPT-2 decoder hyperparameters (small configuration, short caption).
+const (
+	gpt2Seq    = 32 // caption tokens generated against the image context
+	gpt2Dim    = 768
+	gpt2FFN    = 3072
+	gpt2Vocab  = 50257
+	gpt2Blocks = 12
+)
+
+// NewGPT2Decoder builds the caption-decoder half of the ViT-GPT2 pipeline:
+// token embedding, 12 decoder blocks (masked self-attention + FFN), and the
+// tied-vocabulary output projection. Like BERT/ViT it is NPU-unsupported
+// throughout. ~6 GFLOPs per caption, ~124 M parameters.
+func NewGPT2Decoder() *Model {
+	b := newTokenChain("GPT2Decoder", gpt2Seq, gpt2Dim)
+	b.embedding(gpt2Vocab, gpt2Seq, gpt2Dim)
+	for i := 0; i < gpt2Blocks; i++ {
+		encoderBlock(b, gpt2Seq, gpt2Dim, gpt2FFN)
+	}
+	b.layerNorm(gpt2Dim)
+	b.matmul(gpt2Seq, gpt2Dim, gpt2Vocab) // logits (weights tied in spirit)
+	b.softmax()
+	return b.build()
+}

@@ -1,0 +1,39 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzModelJSON: arbitrary bytes must either fail to decode or produce a
+// model that passes Validate and survives a marshal/unmarshal round trip.
+func FuzzModelJSON(f *testing.F) {
+	for _, name := range []string{SqueezeNet, BERT} {
+		data, err := json.Marshal(MustByName(name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","inputBytes":4,"layers":[{"name":"a","kind":"Conv","flops":1,"inputBytes":4,"outputBytes":4}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Model
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // rejected input is fine
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid model: %v", err)
+		}
+		out, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var again Model
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		if again.Name != m.Name || again.NumLayers() != m.NumLayers() {
+			t.Fatal("round trip changed the model")
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is a DAG-structured network description. The planner operates on
+// linear chains (Definition 1 slices a topological order), so Graph exists
+// for faithful construction: build the real dataflow with branches and skip
+// connections, then Linearize. Linearization preserves per-node FLOPs,
+// weights and working sets exactly, and sets each chain boundary's tensor
+// size to the true *cut width* — the total bytes of every edge crossing
+// that topological position — so a pipeline split through a branchy region
+// is charged the full set of live tensors it must transfer, something the
+// hand-serialised builders approximate.
+type Graph struct {
+	// Name is the network name.
+	Name string
+	// Nodes hold the computation; edges are stored as producer indices.
+	Nodes []GraphNode
+	// InputBytes is the network input size, consumed by source nodes.
+	InputBytes int64
+}
+
+// GraphNode is one operator with explicit producers.
+type GraphNode struct {
+	// Layer carries the cost descriptor. Its InputBytes/OutputBytes are
+	// the node's own tensor sizes; chain boundary sizes are recomputed
+	// from cuts during linearisation.
+	Layer Layer
+	// Inputs are indices of producer nodes; empty means the node consumes
+	// the network input.
+	Inputs []int
+}
+
+// Validate checks structural soundness: edges in range, no forward
+// references that would make Kahn's algorithm ambiguous to report, acyclic,
+// and at least one node.
+func (g *Graph) Validate() error {
+	if g.Name == "" {
+		return errors.New("graph has empty name")
+	}
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("graph %q has no nodes", g.Name)
+	}
+	if g.InputBytes <= 0 {
+		return fmt.Errorf("graph %q has non-positive input size", g.Name)
+	}
+	for i, n := range g.Nodes {
+		if err := n.Layer.Validate(); err != nil {
+			return fmt.Errorf("graph %q node %d: %w", g.Name, i, err)
+		}
+		for _, in := range n.Inputs {
+			if in < 0 || in >= len(g.Nodes) {
+				return fmt.Errorf("graph %q node %d: input %d out of range", g.Name, i, in)
+			}
+			if in == i {
+				return fmt.Errorf("graph %q node %d: self loop", g.Name, i)
+			}
+		}
+	}
+	if _, err := g.topoOrder(); err != nil {
+		return fmt.Errorf("graph %q: %w", g.Name, err)
+	}
+	return nil
+}
+
+// topoOrder returns a deterministic topological order (Kahn's algorithm,
+// lowest-index-first among ready nodes).
+func (g *Graph) topoOrder() ([]int, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i, node := range g.Nodes {
+		indeg[i] = len(node.Inputs)
+		for _, in := range node.Inputs {
+			succ[in] = append(succ[in], i)
+		}
+	}
+	order := make([]int, 0, n)
+	// Lowest-index-first keeps the order deterministic and close to the
+	// construction order.
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Pop the smallest index.
+		best := 0
+		for j := 1; j < len(ready); j++ {
+			if ready[j] < ready[best] {
+				best = j
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, v)
+		for _, s := range succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("graph has a cycle")
+	}
+	return order, nil
+}
+
+// Linearize converts the DAG into an equivalent-cost chain Model. Chain
+// position p holds the node at topological position p; the boundary tensor
+// after position p is the cut width: the summed output bytes of every node
+// whose result is still needed by a node at a later position (plus the
+// network input while any source node remains).
+func (g *Graph) Linearize() (*Model, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.Nodes)
+	pos := make([]int, n) // node index → topo position
+	for p, v := range order {
+		pos[v] = p
+	}
+	// lastUse[v] is the latest topo position that consumes node v's output;
+	// terminal nodes (no consumer) live to the end — their outputs are the
+	// network's.
+	lastUse := make([]int, n)
+	hasConsumer := make([]bool, n)
+	for v := 0; v < n; v++ {
+		lastUse[v] = n - 1
+	}
+	use := make([]int, n)
+	for i, node := range g.Nodes {
+		for _, in := range node.Inputs {
+			hasConsumer[in] = true
+			if pos[i] > use[in] {
+				use[in] = pos[i]
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if hasConsumer[v] {
+			lastUse[v] = use[v]
+		}
+	}
+	// inputLive: the network input stays live until its last source node.
+	inputLast := 0
+	for i, node := range g.Nodes {
+		if len(node.Inputs) == 0 && pos[i] > inputLast {
+			inputLast = pos[i]
+		}
+	}
+
+	// cut[p]: bytes crossing the boundary after topo position p.
+	cut := make([]int64, n)
+	for p := 0; p < n-1; p++ {
+		var bytes int64
+		for v := 0; v < n; v++ {
+			if pos[v] <= p && lastUse[v] > p {
+				bytes += g.Nodes[v].Layer.OutputBytes
+			}
+		}
+		if p < inputLast {
+			bytes += g.InputBytes
+		}
+		cut[p] = bytes
+	}
+	// Final boundary: the network outputs.
+	var outBytes int64
+	for v := 0; v < n; v++ {
+		if !hasConsumer[v] {
+			outBytes += g.Nodes[v].Layer.OutputBytes
+		}
+	}
+	cut[n-1] = outBytes
+
+	layers := make([]Layer, n)
+	prev := g.InputBytes
+	for p, v := range order {
+		l := g.Nodes[v].Layer
+		l.InputBytes = prev
+		l.OutputBytes = cut[p]
+		layers[p] = l
+		prev = cut[p]
+	}
+	m := &Model{Name: g.Name, Layers: layers, InputBytes: g.InputBytes}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph %q: linearised model invalid: %w", g.Name, err)
+	}
+	return m, nil
+}
+
+// TotalFLOPs sums the graph's node FLOPs (preserved by Linearize).
+func (g *Graph) TotalFLOPs() float64 {
+	var sum float64
+	for _, n := range g.Nodes {
+		sum += n.Layer.FLOPs
+	}
+	return sum
+}
+
+// TotalWeightBytes sums the graph's parameters (preserved by Linearize).
+func (g *Graph) TotalWeightBytes() int64 {
+	var sum int64
+	for _, n := range g.Nodes {
+		sum += n.Layer.WeightBytes
+	}
+	return sum
+}

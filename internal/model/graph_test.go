@@ -1,0 +1,211 @@
+package model
+
+import (
+	"testing"
+)
+
+// diamondGraph builds input → a → {b, c} → d (concat): the smallest graph
+// with a branch, so cut widths through the branch carry both tensors.
+func diamondGraph() *Graph {
+	mk := func(name string, in, out int64) Layer {
+		return Layer{
+			Name: name, Kind: OpConv, FLOPs: 1e6,
+			InputBytes: in, OutputBytes: out,
+			WeightBytes: 128, WorkingSetBytes: 256,
+		}
+	}
+	return &Graph{
+		Name:       "Diamond",
+		InputBytes: 100,
+		Nodes: []GraphNode{
+			{Layer: mk("a", 100, 40)},                     // 0: source
+			{Layer: mk("b", 40, 30), Inputs: []int{0}},    // 1
+			{Layer: mk("c", 40, 20), Inputs: []int{0}},    // 2
+			{Layer: mk("d", 50, 10), Inputs: []int{1, 2}}, // 3: join
+		},
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	g := diamondGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := diamondGraph()
+	bad.Nodes[1].Inputs = []int{9}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	selfLoop := diamondGraph()
+	selfLoop.Nodes[1].Inputs = []int{1}
+	if err := selfLoop.Validate(); err == nil {
+		t.Error("self loop accepted")
+	}
+	cyc := diamondGraph()
+	cyc.Nodes[0].Inputs = []int{3}
+	if err := cyc.Validate(); err == nil {
+		t.Error("cycle accepted")
+	}
+	empty := &Graph{Name: "e", InputBytes: 1}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestLinearizeDiamond(t *testing.T) {
+	g := diamondGraph()
+	m, err := g.Linearize()
+	if err != nil {
+		t.Fatalf("Linearize: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("linearised model invalid: %v", err)
+	}
+	if m.NumLayers() != 4 {
+		t.Fatalf("%d layers, want 4", m.NumLayers())
+	}
+	// FLOPs and weights preserved exactly.
+	if m.TotalFLOPs() != g.TotalFLOPs() {
+		t.Errorf("FLOPs %g != %g", m.TotalFLOPs(), g.TotalFLOPs())
+	}
+	if m.TotalWeightBytes() != g.TotalWeightBytes() {
+		t.Errorf("weights %d != %d", m.TotalWeightBytes(), g.TotalWeightBytes())
+	}
+	// Topological order is a,b,c,d; the cut between b and c carries b's
+	// output (30, live until d) AND a's output (40, still needed by c):
+	// 70 bytes — the skip-connection charge a naive chain misses.
+	if got := m.Layers[1].OutputBytes; got != 70 {
+		t.Errorf("cut after b = %d, want 70 (b's 30 + a's 40)", got)
+	}
+	// The cut between a and b carries only a's output.
+	if got := m.Layers[0].OutputBytes; got != 40 {
+		t.Errorf("cut after a = %d, want 40", got)
+	}
+	// The final boundary is the terminal node's output.
+	if got := m.Layers[3].OutputBytes; got != 10 {
+		t.Errorf("final output = %d, want 10", got)
+	}
+}
+
+func TestLinearizeInputLiveness(t *testing.T) {
+	// Two source nodes: the network input must stay live across the first
+	// cut (the second source still needs it).
+	mk := func(name string, out int64) Layer {
+		return Layer{Name: name, Kind: OpConv, FLOPs: 1, InputBytes: 100, OutputBytes: out}
+	}
+	g := &Graph{
+		Name:       "TwoSources",
+		InputBytes: 100,
+		Nodes: []GraphNode{
+			{Layer: mk("s1", 10)},
+			{Layer: mk("s2", 20)},
+			{Layer: Layer{Name: "join", Kind: OpConcat, FLOPs: 1, InputBytes: 30, OutputBytes: 30}, Inputs: []int{0, 1}},
+		},
+	}
+	m, err := g.Linearize()
+	if err != nil {
+		t.Fatalf("Linearize: %v", err)
+	}
+	// Cut after s1: s1's output (10) + the still-needed input (100).
+	if got := m.Layers[0].OutputBytes; got != 110 {
+		t.Errorf("cut after s1 = %d, want 110", got)
+	}
+}
+
+// TestGoogLeNetGraphEquivalent builds one inception module as a true DAG
+// and checks the linearisation against the same costs.
+func TestInceptionModuleGraph(t *testing.T) {
+	conv := func(name string, in, out int64, flops float64) Layer {
+		return Layer{Name: name, Kind: OpConv, FLOPs: flops,
+			InputBytes: in, OutputBytes: out, WeightBytes: 1024, WorkingSetBytes: 2048}
+	}
+	g := &Graph{
+		Name:       "InceptionModule",
+		InputBytes: 1000,
+		Nodes: []GraphNode{
+			{Layer: conv("b1x1", 1000, 200, 1e6)},                // branch 1
+			{Layer: conv("b3r", 1000, 100, 5e5)},                 // branch 2 reduce
+			{Layer: conv("b3", 100, 300, 2e6), Inputs: []int{1}}, // branch 2 main
+			{Layer: conv("b5r", 1000, 50, 3e5)},                  // branch 3 reduce
+			{Layer: conv("b5", 50, 100, 1e6), Inputs: []int{3}},  // branch 3 main
+			{Layer: Layer{Name: "cat", Kind: OpConcat, FLOPs: 600,
+				InputBytes: 600, OutputBytes: 600}, Inputs: []int{0, 2, 4}},
+		},
+	}
+	m, err := g.Linearize()
+	if err != nil {
+		t.Fatalf("Linearize: %v", err)
+	}
+	if m.NumLayers() != 6 {
+		t.Fatalf("%d layers, want 6", m.NumLayers())
+	}
+	if m.TotalFLOPs() != g.TotalFLOPs() {
+		t.Error("FLOPs not preserved")
+	}
+	// Mid-module cuts carry multiple live branch tensors: every interior
+	// cut is at least as wide as any single branch tensor.
+	for p := 0; p < 5; p++ {
+		if m.Layers[p].OutputBytes < 200 {
+			t.Errorf("cut %d = %d bytes; expected live branch tensors", p, m.Layers[p].OutputBytes)
+		}
+	}
+}
+
+func TestLinearizePlansEndToEnd(t *testing.T) {
+	// A graph-built model must flow through the planner like any other.
+	g := diamondGraph()
+	m, err := g.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check that the layer chain is usable as a zoo-style model: the
+	// facade-level planning path is exercised in the root package tests;
+	// here structural validity suffices.
+	if m.FootprintBytes() <= 0 || m.TotalTrafficBytes() <= 0 {
+		t.Error("degenerate linearised model")
+	}
+}
+
+// TestResNet50GraphMatchesChain: the DAG-built ResNet-50 linearises into a
+// model whose aggregate costs track the canonical chain builder, while its
+// residual-region cuts are wider (the live skip tensor is now charged).
+func TestResNet50GraphMatchesChain(t *testing.T) {
+	g := NewResNet50Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	lin, err := g.Linearize()
+	if err != nil {
+		t.Fatalf("Linearize: %v", err)
+	}
+	chainM := MustByName(ResNet50)
+	ratio := lin.TotalFLOPs() / chainM.TotalFLOPs()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("FLOPs ratio graph/chain = %.3f, want ≈ 1", ratio)
+	}
+	wratio := float64(lin.TotalWeightBytes()) / float64(chainM.TotalWeightBytes())
+	if wratio < 0.9 || wratio > 1.1 {
+		t.Errorf("weight ratio graph/chain = %.3f, want ≈ 1", wratio)
+	}
+	// Inside residual blocks the cut carries main path + skip: some cut
+	// must exceed the largest single tensor of the chain version.
+	var chainMax int64
+	for _, l := range chainM.Layers {
+		if l.OutputBytes > chainMax {
+			chainMax = l.OutputBytes
+		}
+	}
+	var widest int64
+	for _, l := range lin.Layers {
+		if l.OutputBytes > widest {
+			widest = l.OutputBytes
+		}
+	}
+	if widest <= chainMax {
+		t.Errorf("widest graph cut %d not above chain max tensor %d (skip charge missing)",
+			widest, chainMax)
+	}
+}

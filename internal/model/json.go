@@ -1,0 +1,91 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange. Users bring their own networks by describing the layer
+// chain; layers use explicit field tags so the on-disk format is stable
+// against struct refactoring.
+
+// layerJSON is the serialised form of a Layer.
+type layerJSON struct {
+	Name            string  `json:"name"`
+	Kind            string  `json:"kind"`
+	FLOPs           float64 `json:"flops"`
+	InputBytes      int64   `json:"inputBytes"`
+	OutputBytes     int64   `json:"outputBytes"`
+	WeightBytes     int64   `json:"weightBytes"`
+	WorkingSetBytes int64   `json:"workingSetBytes"`
+}
+
+// modelJSON is the serialised form of a Model.
+type modelJSON struct {
+	Name       string      `json:"name"`
+	InputBytes int64       `json:"inputBytes"`
+	Layers     []layerJSON `json:"layers"`
+}
+
+// kindByName inverts the OpKind naming for decoding.
+var kindByName = func() map[string]OpKind {
+	out := make(map[string]OpKind, len(opKindNames))
+	for k, n := range opKindNames {
+		out[n] = k
+	}
+	return out
+}()
+
+// MarshalJSON encodes the model in the stable interchange format.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	doc := modelJSON{
+		Name:       m.Name,
+		InputBytes: m.InputBytes,
+		Layers:     make([]layerJSON, len(m.Layers)),
+	}
+	for i, l := range m.Layers {
+		doc.Layers[i] = layerJSON{
+			Name:            l.Name,
+			Kind:            l.Kind.String(),
+			FLOPs:           l.FLOPs,
+			InputBytes:      l.InputBytes,
+			OutputBytes:     l.OutputBytes,
+			WeightBytes:     l.WeightBytes,
+			WorkingSetBytes: l.WorkingSetBytes,
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes and validates a model from the interchange format.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var doc modelJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("model: decode: %w", err)
+	}
+	decoded := Model{
+		Name:       doc.Name,
+		InputBytes: doc.InputBytes,
+		Layers:     make([]Layer, len(doc.Layers)),
+	}
+	for i, l := range doc.Layers {
+		kind, ok := kindByName[l.Kind]
+		if !ok {
+			return fmt.Errorf("model: layer %d has unknown kind %q", i, l.Kind)
+		}
+		decoded.Layers[i] = Layer{
+			Name:            l.Name,
+			Kind:            kind,
+			FLOPs:           l.FLOPs,
+			InputBytes:      l.InputBytes,
+			OutputBytes:     l.OutputBytes,
+			WeightBytes:     l.WeightBytes,
+			WorkingSetBytes: l.WorkingSetBytes,
+		}
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*m = decoded
+	return nil
+}

@@ -1,0 +1,86 @@
+package model
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		orig := MustByName(name)
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var decoded Model
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if decoded.Name != orig.Name || decoded.InputBytes != orig.InputBytes {
+			t.Fatalf("%s: header mismatch", name)
+		}
+		if len(decoded.Layers) != len(orig.Layers) {
+			t.Fatalf("%s: %d layers, want %d", name, len(decoded.Layers), len(orig.Layers))
+		}
+		for i := range orig.Layers {
+			if decoded.Layers[i] != orig.Layers[i] {
+				t.Fatalf("%s: layer %d mismatch:\n got %+v\nwant %+v",
+					name, i, decoded.Layers[i], orig.Layers[i])
+			}
+		}
+	}
+}
+
+func TestModelJSONRejectsInvalid(t *testing.T) {
+	var m Model
+	cases := []string{
+		`{`, // malformed
+		`{"name":"x","inputBytes":10,"layers":[{"name":"a","kind":"Nope","flops":1,"inputBytes":10,"outputBytes":5}]}`,
+		`{"name":"x","inputBytes":10,"layers":[]}`, // no layers
+		// Tensor discontinuity.
+		`{"name":"x","inputBytes":10,"layers":[
+			{"name":"a","kind":"Conv","flops":1,"inputBytes":10,"outputBytes":5},
+			{"name":"b","kind":"Conv","flops":1,"inputBytes":7,"outputBytes":3}]}`,
+	}
+	for i, src := range cases {
+		if err := json.Unmarshal([]byte(src), &m); err == nil {
+			t.Errorf("case %d: invalid document accepted", i)
+		}
+	}
+}
+
+func TestModelJSONStableFieldNames(t *testing.T) {
+	data, err := json.Marshal(MustByName(SqueezeNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, field := range []string{`"name"`, `"kind"`, `"flops"`, `"inputBytes"`, `"outputBytes"`, `"weightBytes"`, `"workingSetBytes"`} {
+		if !strings.Contains(s, field) {
+			t.Errorf("serialised model missing field %s", field)
+		}
+	}
+}
+
+func TestModelJSONCustomNetwork(t *testing.T) {
+	src := `{
+		"name": "TinyNet",
+		"inputBytes": 1024,
+		"layers": [
+			{"name": "conv1", "kind": "Conv", "flops": 1e6, "inputBytes": 1024, "outputBytes": 2048, "weightBytes": 512, "workingSetBytes": 1536},
+			{"name": "act1", "kind": "Activation", "flops": 1024, "inputBytes": 2048, "outputBytes": 2048},
+			{"name": "fc1", "kind": "FC", "flops": 2e6, "inputBytes": 2048, "outputBytes": 100, "weightBytes": 204800, "workingSetBytes": 204800}
+		]
+	}`
+	var m Model
+	if err := json.Unmarshal([]byte(src), &m); err != nil {
+		t.Fatalf("custom network rejected: %v", err)
+	}
+	if m.NumLayers() != 3 || m.Layers[2].Kind != OpFC {
+		t.Errorf("decoded %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("decoded custom network invalid: %v", err)
+	}
+}

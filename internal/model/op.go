@@ -1,0 +1,97 @@
+// Package model defines the DNN layer intermediate representation and a zoo
+// of the ten networks evaluated in the Hetero²Pipe paper: AlexNet, VGG16,
+// GoogLeNet, InceptionV4, ResNet50, YOLOv4, MobileNetV2, SqueezeNet, BERT
+// and ViT.
+//
+// The planner in internal/core never executes real kernels; it only consumes
+// per-layer cost descriptors (FLOPs, activation/weight bytes, operator kind).
+// The zoo synthesises those descriptors from the published architectures so
+// the layer-count, FLOP distribution along the chain, and memory-boundedness
+// of FC/attention layers — the properties every planning decision depends
+// on — match the real networks.
+package model
+
+import "fmt"
+
+// OpKind identifies the operator class of a layer. The class determines
+// hardware affinity (e.g. NPUs accelerate convolutions but reject attention)
+// and memory behaviour (large MatMuls are memory-bound, Observation 2).
+type OpKind int
+
+// Operator kinds. The set covers everything the ten zoo networks need.
+const (
+	OpConv OpKind = iota + 1
+	OpDepthwiseConv
+	OpFC
+	OpMatMul
+	OpAttention
+	OpLayerNorm
+	OpPool
+	OpActivation
+	OpConcat
+	OpResidualAdd
+	OpSoftmax
+	OpEmbedding
+	OpUpsample
+	OpBatchNorm
+)
+
+var opKindNames = map[OpKind]string{
+	OpConv:          "Conv",
+	OpDepthwiseConv: "DWConv",
+	OpFC:            "FC",
+	OpMatMul:        "MatMul",
+	OpAttention:     "Attention",
+	OpLayerNorm:     "LayerNorm",
+	OpPool:          "Pool",
+	OpActivation:    "Activation",
+	OpConcat:        "Concat",
+	OpResidualAdd:   "ResidualAdd",
+	OpSoftmax:       "Softmax",
+	OpEmbedding:     "Embedding",
+	OpUpsample:      "Upsample",
+	OpBatchNorm:     "BatchNorm",
+}
+
+// String returns the human-readable operator name.
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Valid reports whether k is a known operator kind.
+func (k OpKind) Valid() bool {
+	_, ok := opKindNames[k]
+	return ok
+}
+
+// npuSupported mirrors the restricted operator coverage of mobile NPUs
+// (HiAI/DaVinci in the paper): convolutional building blocks are supported,
+// while transformer-era operators and YOLO-style routing force a fallback to
+// the CPU/GPU (Sec. I and Fig. 1: "an error is reported due to unsupported
+// operators ... for both YOLOv4 and BERT").
+var npuSupported = map[OpKind]bool{
+	OpConv:          true,
+	OpDepthwiseConv: true,
+	OpFC:            true,
+	OpPool:          true,
+	OpActivation:    true,
+	OpConcat:        true,
+	OpResidualAdd:   true,
+	OpBatchNorm:     true,
+
+	OpMatMul:    false,
+	OpAttention: false,
+	OpLayerNorm: false,
+	OpSoftmax:   false,
+	OpEmbedding: false,
+	OpUpsample:  false,
+}
+
+// NPUSupported reports whether the operator kind can execute on the NPU
+// without falling back to the CPU or GPU.
+func (k OpKind) NPUSupported() bool {
+	return npuSupported[k]
+}

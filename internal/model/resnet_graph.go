@@ -1,0 +1,94 @@
+package model
+
+// NewResNet50Graph builds ResNet-50 as a true DAG: every bottleneck block's
+// residual connection is an explicit edge, so Linearize charges pipeline
+// cuts through a block with both the main-path tensor and the live skip
+// tensor. It demonstrates the Graph construction path on a full network;
+// the chain builder NewResNet50 remains the zoo's canonical instance (its
+// fused serialisation is what the calibration constants were tuned on).
+func NewResNet50Graph() *Graph {
+	g := &Graph{Name: "ResNet50Graph", InputBytes: int64(224*224*3) * bytesPerElem}
+	last := -1 // index of the most recent node; -1 = network input
+
+	add := func(l Layer, inputs ...int) int {
+		g.Nodes = append(g.Nodes, GraphNode{Layer: l, Inputs: inputs})
+		return len(g.Nodes) - 1
+	}
+	// conv emits a conv node consuming `from` with the given geometry.
+	h, w, c := 224, 224, 3
+	conv := func(from int, outC, k, s int) int {
+		inBytes := int64(h*w*c) * bytesPerElem
+		outH, outW := (h+s-1)/s, (w+s-1)/s
+		flops := 2 * float64(k*k*c*outC) * float64(outH*outW)
+		weights := int64(k*k*c*outC) * bytesPerElem
+		ws := weights + int64(k*w*c)*bytesPerElem
+		h, w, c = outH, outW, outC
+		l := Layer{
+			Name: "conv", Kind: OpConv, FLOPs: flops,
+			InputBytes: inBytes, OutputBytes: int64(h*w*c) * bytesPerElem,
+			WeightBytes: weights, WorkingSetBytes: ws,
+		}
+		if from < 0 {
+			return add(l)
+		}
+		return add(l, from)
+	}
+	act := func(from int) int {
+		bytes := int64(h*w*c) * bytesPerElem
+		return add(Layer{Name: "act", Kind: OpActivation, FLOPs: float64(h * w * c),
+			InputBytes: bytes, OutputBytes: bytes, WorkingSetBytes: bytes}, from)
+	}
+	pool := func(from int, k, s int) int {
+		inBytes := int64(h*w*c) * bytesPerElem
+		h, w = (h+s-1)/s, (w+s-1)/s
+		return add(Layer{Name: "pool", Kind: OpPool, FLOPs: float64(k * k * h * w * c),
+			InputBytes: inBytes, OutputBytes: int64(h*w*c) * bytesPerElem,
+			WorkingSetBytes: int64(k*w*c) * bytesPerElem}, from)
+	}
+
+	// Stem.
+	last = conv(last, 64, 7, 2)
+	last = act(last)
+	last = pool(last, 3, 2)
+
+	// bottleneck adds a block whose residual edge skips the main path.
+	bottleneck := func(mid, out, stride int) {
+		entry := last
+		entryH, entryW, entryC := h, w, c
+		n := conv(entry, mid, 1, 1)
+		n = act(n)
+		n = conv(n, mid, 3, stride)
+		n = act(n)
+		n = conv(n, out, 1, 1)
+		// Residual join consumes the main path AND the block entry —
+		// the explicit skip edge.
+		joinBytes := int64(h*w*c) * bytesPerElem
+		entryBytes := int64(entryH*entryW*entryC) * bytesPerElem
+		last = add(Layer{Name: "add", Kind: OpResidualAdd, FLOPs: float64(h * w * c),
+			InputBytes: joinBytes + entryBytes, OutputBytes: joinBytes,
+			WorkingSetBytes: 2 * joinBytes}, n, entry)
+		last = act(last)
+	}
+	stage := func(blocks, mid, out, stride int) {
+		bottleneck(mid, out, stride)
+		for i := 1; i < blocks; i++ {
+			bottleneck(mid, out, 1)
+		}
+	}
+	stage(3, 64, 256, 1)
+	stage(4, 128, 512, 2)
+	stage(6, 256, 1024, 2)
+	stage(3, 512, 2048, 2)
+
+	// Head.
+	gapBytes := int64(h*w*c) * bytesPerElem
+	last = add(Layer{Name: "gap", Kind: OpPool, FLOPs: float64(h * w * c),
+		InputBytes: gapBytes, OutputBytes: int64(c) * bytesPerElem,
+		WorkingSetBytes: gapBytes}, last)
+	h, w = 1, 1
+	fcIn := c
+	last = add(Layer{Name: "fc", Kind: OpFC, FLOPs: 2 * float64(fcIn) * 1000,
+		InputBytes: int64(fcIn) * bytesPerElem, OutputBytes: 1000 * bytesPerElem,
+		WeightBytes: int64(fcIn*1000) * bytesPerElem, WorkingSetBytes: int64(fcIn*1000) * bytesPerElem}, last)
+	return g
+}

@@ -1,0 +1,69 @@
+package model
+
+// Transformer members of the zoo. Both carry the 768-wide multi-head
+// attention and 768×3072 FFN MatMuls that Observation 2 identifies as
+// memory-bound on mobile CPUs, and both contain operator kinds
+// (Attention/LayerNorm/Softmax/Embedding) that mobile NPUs reject, forcing
+// the CPU/GPU fallback path.
+
+// BERT/ViT hyperparameters (base configurations).
+const (
+	bertSeqLen   = 128
+	bertDim      = 768
+	bertFFN      = 3072
+	bertVocab    = 30522
+	bertBlocks   = 12
+	vitSeqLen    = 197 // 14×14 patches + CLS token
+	vitDim       = 768
+	vitFFN       = 3072
+	vitBlocks    = 12
+	vitPatch     = 16
+	vitImageSize = 224
+)
+
+// encoderBlock appends one pre-norm transformer encoder block:
+// LN → MHSA → residual → LN → FFN(up, act, down) → residual.
+func encoderBlock(b *chain, seqLen, dim, ffn int) {
+	b.layerNorm(dim)
+	b.attention(seqLen, dim)
+	b.residual()
+	b.layerNorm(dim)
+	b.matmul(seqLen, dim, ffn)
+	b.act()
+	b.matmul(seqLen, ffn, dim)
+	b.residual()
+}
+
+// NewBERT builds BERT-base for a 128-token sequence: embedding, 12 encoder
+// blocks, pooler. ~22 GFLOPs per inference, ~110 M parameters.
+func NewBERT() *Model {
+	b := newTokenChain("BERT", bertSeqLen, bertDim)
+	b.embedding(bertVocab, bertSeqLen, bertDim)
+	for i := 0; i < bertBlocks; i++ {
+		encoderBlock(b, bertSeqLen, bertDim, bertFFN)
+	}
+	b.layerNorm(bertDim)
+	b.matmul(bertSeqLen, bertDim, bertDim) // pooler
+	b.softmax()
+	return b.build()
+}
+
+// NewViT builds ViT-Base/16 for 224×224 images: patch embedding, 12 encoder
+// blocks, classification head. ~35 GFLOPs per inference, ~86 M parameters.
+func NewViT() *Model {
+	b := newTokenChain("ViT", vitSeqLen, vitDim)
+	// Patch embedding: a 16×16-stride conv re-expressed as a token
+	// projection (196 patches × 768), plus the CLS token.
+	patchIn := vitPatch * vitPatch * 3
+	b.elems = (vitImageSize / vitPatch) * (vitImageSize / vitPatch) * patchIn
+	b.matmul((vitImageSize/vitPatch)*(vitImageSize/vitPatch), patchIn, vitDim)
+	b.concat(0) // CLS token join: keep element count explicit below.
+	b.elems = vitSeqLen * vitDim
+	b.layers[len(b.layers)-1].OutputBytes = b.curBytes()
+	for i := 0; i < vitBlocks; i++ {
+		encoderBlock(b, vitSeqLen, vitDim, vitFFN)
+	}
+	b.layerNorm(vitDim)
+	b.matmul(1, vitDim, 1000) // classification head on CLS token
+	return b.build()
+}

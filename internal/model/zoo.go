@@ -1,0 +1,101 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Canonical zoo model names. The ten networks match Sec. VI-A of the paper.
+const (
+	AlexNet     = "AlexNet"
+	VGG16       = "VGG16"
+	GoogLeNet   = "GoogLeNet"
+	InceptionV4 = "InceptionV4"
+	ResNet50    = "ResNet50"
+	YOLOv4      = "YOLOv4"
+	MobileNetV2 = "MobileNetV2"
+	SqueezeNet  = "SqueezeNet"
+	BERT        = "BERT"
+	ViT         = "ViT"
+)
+
+var zooBuilders = map[string]func() *Model{
+	AlexNet:     NewAlexNet,
+	VGG16:       NewVGG16,
+	GoogLeNet:   NewGoogLeNet,
+	InceptionV4: NewInceptionV4,
+	ResNet50:    NewResNet50,
+	YOLOv4:      NewYOLOv4,
+	MobileNetV2: NewMobileNetV2,
+	SqueezeNet:  NewSqueezeNet,
+	BERT:        NewBERT,
+	ViT:         NewViT,
+}
+
+// Names returns the zoo model names in deterministic (sorted) order.
+func Names() []string {
+	names := make([]string, 0, len(zooBuilders))
+	for name := range zooBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName constructs a fresh instance of the named model, covering both the
+// ten-network evaluation zoo and the extra application networks
+// (ExtraNames).
+func ByName(name string) (*Model, error) {
+	if build, ok := zooBuilders[name]; ok {
+		return build(), nil
+	}
+	if build, ok := extraBuilders[name]; ok {
+		return build(), nil
+	}
+	return nil, fmt.Errorf("model: unknown zoo model %q", name)
+}
+
+// MustByName is ByName for static names; it panics on unknown names and is
+// intended for tests and examples where the name is a compile-time constant.
+func MustByName(name string) *Model {
+	m, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Zoo constructs one instance of every zoo model, keyed by name.
+func Zoo() map[string]*Model {
+	out := make(map[string]*Model, len(zooBuilders))
+	for name, build := range zooBuilders {
+		out[name] = build()
+	}
+	return out
+}
+
+// All constructs every zoo model in deterministic name order.
+func All() []*Model {
+	names := Names()
+	out := make([]*Model, 0, len(names))
+	for _, name := range names {
+		out = append(out, zooBuilders[name]())
+	}
+	return out
+}
+
+// LightweightNames returns the models the paper's Fig. 9 classifies as
+// lightweight (<100 MB footprint): SqueezeNet, MobileNetV2, GoogLeNet.
+func LightweightNames() []string {
+	return []string{GoogLeNet, MobileNetV2, SqueezeNet}
+}
+
+// MediumNames returns the 100–300 MB tier: InceptionV4, ResNet50, AlexNet.
+func MediumNames() []string {
+	return []string{AlexNet, InceptionV4, ResNet50}
+}
+
+// HeavyNames returns the >300 MB tier: BERT, ViT, YOLOv4.
+func HeavyNames() []string {
+	return []string{BERT, ViT, YOLOv4}
+}

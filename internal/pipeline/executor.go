@@ -1,0 +1,391 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hetero2pipe/internal/contention"
+	"hetero2pipe/internal/soc"
+)
+
+// Options configure the executor.
+type Options struct {
+	// Contention applies the shared-bus slowdown model to co-running
+	// slices. Disabling it yields the idealised no-interference execution
+	// the paper's analytic bubble objective assumes.
+	Contention bool
+	// EnforceMemory gates request admission on the Eq. (6) capacity
+	// constraint: a request's weights and activations stay resident from
+	// its first slice's start to its last slice's end.
+	EnforceMemory bool
+	// SampleMemory records a memory/bus-demand trace (Fig. 9).
+	SampleMemory bool
+}
+
+// DefaultOptions enable contention and the memory constraint.
+func DefaultOptions() Options {
+	return Options{Contention: true, EnforceMemory: true}
+}
+
+// SliceExec records one executed slice in the timeline.
+type SliceExec struct {
+	// Request and Stage identify the slice.
+	Request, Stage int
+	// Start and End are virtual times relative to execution start.
+	Start, End time.Duration
+	// Slowdown is the average dilation the slice suffered (1 = none).
+	Slowdown float64
+}
+
+// MemSample is one point of the Fig. 9 trace.
+type MemSample struct {
+	// At is the virtual timestamp.
+	At time.Duration
+	// UsedBytes is resident inference memory at that instant.
+	UsedBytes int64
+	// DemandGBps is the instantaneous shared-bus demand.
+	DemandGBps float64
+}
+
+// Result is the outcome of executing a schedule.
+type Result struct {
+	// Makespan is the completion time of the last request — the paper's
+	// "Latency" axis in Fig. 7.
+	Makespan time.Duration
+	// Completions[i] is request i's finish time.
+	Completions []time.Duration
+	// Timeline lists every executed slice in start order.
+	Timeline []SliceExec
+	// BubbleTime is the measured processor idle time between each
+	// processor's first and last activity, the executed counterpart of
+	// Eq. (3).
+	BubbleTime time.Duration
+	// PeakMemoryBytes is the maximum resident memory.
+	PeakMemoryBytes int64
+	// AdmissionStalls counts requests delayed by the memory constraint.
+	AdmissionStalls int
+	// MemTrace holds the sampled memory/demand trace when enabled.
+	MemTrace []MemSample
+	// EnergyJoules is the total energy of the run: every processor's busy
+	// time at its busy power plus its remaining makespan at idle power
+	// (energy-model extension; see soc.Power).
+	EnergyJoules float64
+}
+
+// EnergyPerInference returns joules per completed request.
+func (r *Result) EnergyPerInference() float64 {
+	if len(r.Completions) == 0 {
+		return 0
+	}
+	return r.EnergyJoules / float64(len(r.Completions))
+}
+
+// Throughput returns completed inferences per second (Fig. 7's throughput
+// metric, #models / latency).
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(r.Completions)) / r.Makespan.Seconds()
+}
+
+// execState tracks one in-flight slice.
+type execState struct {
+	req, stage int
+	remaining  float64 // solo seconds of work left
+	fp         contention.Footprint
+	start      time.Duration
+	soloSec    float64
+}
+
+// Execute runs the schedule on the executor's virtual clock and returns the
+// measured result. The schedule must Validate.
+//
+// The executor implements the precedence constraints of Eq. (8): request i's
+// stage k starts when stage k-1 of request i has finished AND processor k
+// has finished request i-1's stage k. Under Options.Contention, every
+// running slice's progress rate is 1/slowdown, recomputed whenever the
+// co-running set changes, so the T^co term of Eq. (2) emerges from overlap
+// rather than being a static additive guess.
+func Execute(s *Schedule, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m, k := s.NumRequests(), s.NumStages()
+	if m == 0 {
+		return &Result{}, nil
+	}
+
+	// stageDone[i][stage] = completion time, or -1 if pending.
+	stageDone := make([][]time.Duration, m)
+	for i := range stageDone {
+		stageDone[i] = make([]time.Duration, k)
+		for j := range stageDone[i] {
+			stageDone[i][j] = -1
+		}
+	}
+	// nextReq[stage] is the request index the processor must serve next
+	// (in-order per stage).
+	nextReq := make([]int, k)
+	busy := make([]bool, k)
+	admitted := make([]bool, m)
+	finishedReq := make([]bool, m)
+	memUse := int64(0)
+	memOf := make([]int64, m)
+	for i := 0; i < m; i++ {
+		memOf[i] = requestMemory(s, i)
+	}
+
+	res := &Result{Completions: make([]time.Duration, m)}
+	var running []*execState
+	now := time.Duration(0)
+
+	// firstPendingStage returns the first non-empty stage of request i that
+	// is not yet done, and whether all stages are done.
+	firstPendingStage := func(i int) (int, bool) {
+		for st := 0; st < k; st++ {
+			if s.Stages[i][st].Empty() {
+				continue
+			}
+			if stageDone[i][st] < 0 {
+				return st, false
+			}
+		}
+		return 0, true
+	}
+
+	// depSatisfied reports whether request i's stage st may start now.
+	depSatisfied := func(i, st int) bool {
+		// All earlier non-empty stages of request i done.
+		for p := 0; p < st; p++ {
+			if !s.Stages[i][p].Empty() && stageDone[i][p] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	admit := func(i int) bool {
+		if admitted[i] {
+			return true
+		}
+		// In-order admission: all earlier requests must be admitted first.
+		if i > 0 && !admitted[i-1] {
+			return false
+		}
+		if opts.EnforceMemory && memUse+memOf[i] > s.SoC.MemoryCapacityBytes && memUse > 0 {
+			return false
+		}
+		admitted[i] = true
+		memUse += memOf[i]
+		if memUse > res.PeakMemoryBytes {
+			res.PeakMemoryBytes = memUse
+		}
+		return true
+	}
+
+	finishRequest := func(i int, at time.Duration) {
+		finishedReq[i] = true
+		res.Completions[i] = at
+		memUse -= memOf[i]
+	}
+
+	sample := func() {
+		if !opts.SampleMemory {
+			return
+		}
+		var demand float64
+		for _, r := range running {
+			demand += r.fp.DemandGBps
+		}
+		res.MemTrace = append(res.MemTrace, MemSample{At: now, UsedBytes: memUse, DemandGBps: demand})
+	}
+
+	// tryStart launches every ready slice; returns whether any started.
+	tryStart := func() bool {
+		started := false
+		for st := 0; st < k; st++ {
+			for !busy[st] && nextReq[st] < m {
+				i := nextReq[st]
+				r := s.Stages[i][st]
+				if r.Empty() {
+					// Empty stages take no processor time and never gate
+					// dependencies (depSatisfied skips them).
+					nextReq[st]++
+					continue
+				}
+				if !depSatisfied(i, st) {
+					break
+				}
+				if !admit(i) {
+					res.AdmissionStalls++
+					break
+				}
+				dur := s.StageTime(i, st)
+				if dur == soc.InfDuration {
+					// Validate precludes this; guard anyway.
+					break
+				}
+				es := &execState{
+					req: i, stage: st,
+					remaining: dur.Seconds(),
+					soloSec:   dur.Seconds(),
+					fp:        s.Profiles[i].Footprint(st, r.From, r.To),
+					start:     now,
+				}
+				running = append(running, es)
+				busy[st] = true
+				nextReq[st]++
+				started = true
+			}
+		}
+		if started {
+			sample()
+		}
+		return started
+	}
+
+	factorOf := func(es *execState) float64 {
+		if !opts.Contention {
+			return 1
+		}
+		others := make([]contention.Footprint, 0, len(running)-1)
+		for _, o := range running {
+			if o != es {
+				others = append(others, o.fp)
+			}
+		}
+		return contention.Slowdown(s.SoC.BusBandwidthGBps, es.fp, others)
+	}
+
+	tryStart()
+
+	for len(running) > 0 {
+		// Earliest completion under current dilation factors.
+		best := -1
+		bestDt := math.Inf(1)
+		factors := make([]float64, len(running))
+		for idx, es := range running {
+			f := factorOf(es)
+			factors[idx] = f
+			dt := es.remaining * f
+			if dt < bestDt {
+				bestDt = dt
+				best = idx
+			}
+		}
+		if best < 0 || math.IsInf(bestDt, 1) {
+			return nil, errors.New("pipeline: executor stuck with no finishable slice")
+		}
+		now += time.Duration(bestDt * float64(time.Second))
+		for idx, es := range running {
+			es.remaining -= bestDt / factors[idx]
+			if es.remaining < 1e-12 {
+				es.remaining = 0
+			}
+		}
+		// Complete every slice that reached zero (ties complete together).
+		var still []*execState
+		for _, es := range running {
+			if es.remaining > 0 {
+				still = append(still, es)
+				continue
+			}
+			stageDone[es.req][es.stage] = now
+			busy[es.stage] = false
+			slow := 1.0
+			if es.soloSec > 0 {
+				slow = (now - es.start).Seconds() / es.soloSec
+			}
+			res.Timeline = append(res.Timeline, SliceExec{
+				Request: es.req, Stage: es.stage,
+				Start: es.start, End: now, Slowdown: slow,
+			})
+			if _, done := firstPendingStage(es.req); done && !finishedReq[es.req] {
+				finishRequest(es.req, now)
+			}
+		}
+		running = still
+		sample()
+		tryStart()
+	}
+
+	// Any request not yet finished means a scheduling deadlock.
+	for i := 0; i < m; i++ {
+		if !finishedReq[i] {
+			return nil, fmt.Errorf("pipeline: request %d never completed (deadlock)", i)
+		}
+	}
+
+	res.Makespan = now
+	res.BubbleTime = measureBubbles(res.Timeline, k)
+	res.EnergyJoules = measureEnergy(s.SoC, res.Timeline, now)
+	sort.Slice(res.Timeline, func(a, b int) bool {
+		if res.Timeline[a].Start != res.Timeline[b].Start {
+			return res.Timeline[a].Start < res.Timeline[b].Start
+		}
+		return res.Timeline[a].Stage < res.Timeline[b].Stage
+	})
+	return res, nil
+}
+
+// requestMemory returns the resident bytes of request i across its slices.
+func requestMemory(s *Schedule, i int) int64 {
+	var total int64
+	for st := 0; st < s.NumStages(); st++ {
+		r := s.Stages[i][st]
+		if r.Empty() {
+			continue
+		}
+		total += s.Profiles[i].MemoryBytes(r.From, r.To)
+	}
+	return total
+}
+
+// measureEnergy prices the run: each processor's accumulated busy time at
+// its busy power, the rest of the makespan at idle power.
+func measureEnergy(s *soc.SoC, timeline []SliceExec, makespan time.Duration) float64 {
+	busy := make([]time.Duration, s.NumProcessors())
+	for _, e := range timeline {
+		busy[e.Stage] += e.End - e.Start
+	}
+	var total float64
+	for k := range s.Processors {
+		idle := makespan - busy[k]
+		if idle < 0 {
+			idle = 0
+		}
+		total += s.Processors[k].EnergyJoules(busy[k], idle)
+	}
+	return total
+}
+
+// measureBubbles sums each busy processor's idle gaps between its first and
+// last activity — the executed realisation of the Eq. (3) bubbles.
+func measureBubbles(timeline []SliceExec, stages int) time.Duration {
+	type span struct{ start, end time.Duration }
+	perStage := make([][]span, stages)
+	for _, e := range timeline {
+		perStage[e.Stage] = append(perStage[e.Stage], span{e.Start, e.End})
+	}
+	var total time.Duration
+	for _, spans := range perStage {
+		if len(spans) == 0 {
+			continue
+		}
+		sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
+		cursor := spans[0].end
+		for _, sp := range spans[1:] {
+			if sp.start > cursor {
+				total += sp.start - cursor
+			}
+			if sp.end > cursor {
+				cursor = sp.end
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// Schedule serialisation: a planned pipeline saved as a self-contained JSON
+// document (SoC description, request models, stage boundaries) that can be
+// reloaded and re-executed elsewhere — plan on a workstation, ship the plan
+// to the device fleet. Profiles are rebuilt on load; they are derived data.
+
+// scheduleDoc is the on-disk form.
+type scheduleDoc struct {
+	SoC    *soc.SoC       `json:"soc"`
+	Models []*model.Model `json:"models"`
+	Stages [][]LayerRange `json:"stages"`
+}
+
+// MarshalJSON encodes the schedule with its SoC and model descriptions
+// inlined.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	doc := scheduleDoc{
+		SoC:    s.SoC,
+		Models: make([]*model.Model, len(s.Profiles)),
+		Stages: s.Stages,
+	}
+	for i, p := range s.Profiles {
+		doc.Models[i] = p.Model()
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a schedule document, rebuilds every profile and
+// validates the result.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var doc scheduleDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("pipeline: decode schedule: %w", err)
+	}
+	if doc.SoC == nil {
+		return fmt.Errorf("pipeline: schedule document missing SoC")
+	}
+	decoded := Schedule{
+		SoC:      doc.SoC,
+		Profiles: make([]*profile.Profile, len(doc.Models)),
+		Stages:   doc.Stages,
+	}
+	for i, m := range doc.Models {
+		p, err := profile.New(doc.SoC, m)
+		if err != nil {
+			return fmt.Errorf("pipeline: rebuilding profile %d: %w", i, err)
+		}
+		decoded.Profiles[i] = p
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*s = decoded
+	return nil
+}

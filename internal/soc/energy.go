@@ -1,0 +1,55 @@
+package soc
+
+import (
+	"time"
+)
+
+// Energy model (extension). The paper motivates heterogeneous execution
+// with energy efficiency ("Energy efficiency also demands low bandwidth
+// designs") but evaluates only latency/throughput; this extension prices
+// schedules in joules so the trade-off is visible: per-processor busy and
+// idle power drawn from representative mobile-SoC figures. A processor with
+// zero BusyWatts opts out of energy accounting.
+
+// Power describes one processor's power draw.
+type Power struct {
+	// BusyWatts is the package power while executing at full load.
+	BusyWatts float64
+	// IdleWatts is the power while powered on but idle (clock-gated).
+	IdleWatts float64
+}
+
+// defaultPower returns representative power figures per processor class:
+// big cores are the hungriest per unit of work, NPUs deliver by far the
+// best energy per inference — the reason vendors ship them.
+func defaultPower(kind Kind) Power {
+	switch kind {
+	case KindCPUBig:
+		return Power{BusyWatts: 4.2, IdleWatts: 0.25}
+	case KindCPUSmall:
+		return Power{BusyWatts: 1.1, IdleWatts: 0.10}
+	case KindGPU:
+		return Power{BusyWatts: 3.3, IdleWatts: 0.20}
+	case KindNPU:
+		return Power{BusyWatts: 2.0, IdleWatts: 0.15}
+	case KindDesktopGPU:
+		return Power{BusyWatts: 250, IdleWatts: 30}
+	}
+	return Power{}
+}
+
+// PowerOf returns the processor's power model: its explicit Power when set,
+// otherwise the class default.
+func (p *Processor) PowerOf() Power {
+	if p.Power.BusyWatts > 0 {
+		return p.Power
+	}
+	return defaultPower(p.Kind)
+}
+
+// EnergyJoules prices a busy span plus the surrounding idle time on the
+// processor.
+func (p *Processor) EnergyJoules(busy, idle time.Duration) float64 {
+	pw := p.PowerOf()
+	return pw.BusyWatts*busy.Seconds() + pw.IdleWatts*idle.Seconds()
+}

@@ -1,0 +1,46 @@
+package soc_test
+
+import (
+	"fmt"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/soc"
+)
+
+// ExampleKirin990 inspects the preset's processor ordering — the paper's
+// capability ranking NPU ≫ CPU_B ≥ GPU ≫ CPU_S.
+func ExampleKirin990() {
+	s := soc.Kirin990()
+	for _, p := range s.Processors {
+		fmt.Println(p.ID, p.Kind)
+	}
+	// Output:
+	// npu NPU
+	// cpu-big CPU_B
+	// gpu GPU
+	// cpu-small CPU_S
+}
+
+// ExampleProcessor_Supports shows the NPU's restricted operator coverage:
+// convolutions run, attention falls back.
+func ExampleProcessor_Supports() {
+	s := soc.Kirin990()
+	npu := s.Processor("npu")
+	fmt.Println("conv:", npu.Supports(model.OpConv))
+	fmt.Println("attention:", npu.Supports(model.OpAttention))
+	// Output:
+	// conv: true
+	// attention: false
+}
+
+// ExampleBatchLatency demonstrates the affine batching of Appendix D.
+func ExampleBatchLatency() {
+	s := soc.Kirin990()
+	big := s.Processor("cpu-big")
+	m := model.MustByName(model.MobileNetV2)
+	l1 := soc.BatchLatency(big, m, 1)
+	l4 := soc.BatchLatency(big, m, 4)
+	fmt.Println("batch 4 under 4× batch 1:", l4 < 4*l1)
+	// Output:
+	// batch 4 under 4× batch 1: true
+}

@@ -1,0 +1,164 @@
+package soc
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hetero2pipe/internal/model"
+)
+
+// JSON interchange for custom SoC descriptions, so users can model their
+// own hardware without touching the presets. Durations are serialised in
+// microseconds, efficiencies keyed by operator name.
+
+// processorJSON is the serialised form of a Processor.
+type processorJSON struct {
+	ID                   string             `json:"id"`
+	Kind                 string             `json:"kind"`
+	Cores                int                `json:"cores"`
+	PeakGFLOPS           float64            `json:"peakGFLOPS"`
+	Efficiency           map[string]float64 `json:"efficiency,omitempty"`
+	DefaultEfficiency    float64            `json:"defaultEfficiency"`
+	SoloBandwidthGBps    float64            `json:"soloBandwidthGBps"`
+	L2Bytes              int64              `json:"l2Bytes"`
+	LaunchOverheadMicros int64              `json:"launchOverheadMicros"`
+	DedicatedMemPath     float64            `json:"dedicatedMemPath,omitempty"`
+	Thermal              *Thermal           `json:"thermal,omitempty"`
+	Power                *Power             `json:"power,omitempty"`
+}
+
+// socJSON is the serialised form of an SoC.
+type socJSON struct {
+	Name                string          `json:"name"`
+	Processors          []processorJSON `json:"processors"`
+	BusBandwidthGBps    float64         `json:"busBandwidthGBps"`
+	CopyBandwidthGBps   float64         `json:"copyBandwidthGBps"`
+	CopyLatencyMicros   int64           `json:"copyLatencyMicros"`
+	MemoryCapacityBytes int64           `json:"memoryCapacityBytes"`
+	MemFreqLevelsMHz    []int           `json:"memFreqLevelsMHz,omitempty"`
+}
+
+// kindNamesInverse maps serialised kind names back to Kind values.
+var kindNamesInverse = func() map[string]Kind {
+	out := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		out[n] = k
+	}
+	return out
+}()
+
+// opKindByName maps operator names (model.OpKind.String) to kinds, using
+// the model package's naming.
+var opKindByName = func() map[string]model.OpKind {
+	kinds := []model.OpKind{
+		model.OpConv, model.OpDepthwiseConv, model.OpFC, model.OpMatMul,
+		model.OpAttention, model.OpLayerNorm, model.OpPool, model.OpActivation,
+		model.OpConcat, model.OpResidualAdd, model.OpSoftmax, model.OpEmbedding,
+		model.OpUpsample, model.OpBatchNorm,
+	}
+	out := make(map[string]model.OpKind, len(kinds))
+	for _, k := range kinds {
+		out[k.String()] = k
+	}
+	return out
+}()
+
+// MarshalJSON encodes the SoC in the stable interchange format.
+func (s *SoC) MarshalJSON() ([]byte, error) {
+	doc := socJSON{
+		Name:                s.Name,
+		Processors:          make([]processorJSON, len(s.Processors)),
+		BusBandwidthGBps:    s.BusBandwidthGBps,
+		CopyBandwidthGBps:   s.CopyBandwidthGBps,
+		CopyLatencyMicros:   s.CopyLatency.Microseconds(),
+		MemoryCapacityBytes: s.MemoryCapacityBytes,
+		MemFreqLevelsMHz:    s.MemFreqLevelsMHz,
+	}
+	for i := range s.Processors {
+		p := &s.Processors[i]
+		pj := processorJSON{
+			ID:                   p.ID,
+			Kind:                 p.Kind.String(),
+			Cores:                p.Cores,
+			PeakGFLOPS:           p.PeakGFLOPS,
+			DefaultEfficiency:    p.DefaultEfficiency,
+			SoloBandwidthGBps:    p.SoloBandwidthGBps,
+			L2Bytes:              p.L2Bytes,
+			LaunchOverheadMicros: p.LaunchOverhead.Microseconds(),
+			DedicatedMemPath:     p.DedicatedMemPath,
+		}
+		if len(p.Efficiency) > 0 {
+			pj.Efficiency = make(map[string]float64, len(p.Efficiency))
+			for k, v := range p.Efficiency {
+				pj.Efficiency[k.String()] = v
+			}
+		}
+		if p.Thermal != (Thermal{}) {
+			th := p.Thermal
+			pj.Thermal = &th
+		}
+		if p.Power != (Power{}) {
+			pw := p.Power
+			pj.Power = &pw
+		}
+		doc.Processors[i] = pj
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes and validates an SoC from the interchange format.
+func (s *SoC) UnmarshalJSON(data []byte) error {
+	var doc socJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("soc: decode: %w", err)
+	}
+	decoded := SoC{
+		Name:                doc.Name,
+		Processors:          make([]Processor, len(doc.Processors)),
+		BusBandwidthGBps:    doc.BusBandwidthGBps,
+		CopyBandwidthGBps:   doc.CopyBandwidthGBps,
+		CopyLatency:         time.Duration(doc.CopyLatencyMicros) * time.Microsecond,
+		MemoryCapacityBytes: doc.MemoryCapacityBytes,
+		MemFreqLevelsMHz:    doc.MemFreqLevelsMHz,
+	}
+	for i, pj := range doc.Processors {
+		kind, ok := kindNamesInverse[pj.Kind]
+		if !ok {
+			return fmt.Errorf("soc: processor %d has unknown kind %q", i, pj.Kind)
+		}
+		p := Processor{
+			ID:                pj.ID,
+			Kind:              kind,
+			Cores:             pj.Cores,
+			PeakGFLOPS:        pj.PeakGFLOPS,
+			DefaultEfficiency: pj.DefaultEfficiency,
+			SoloBandwidthGBps: pj.SoloBandwidthGBps,
+			L2Bytes:           pj.L2Bytes,
+			LaunchOverhead:    time.Duration(pj.LaunchOverheadMicros) * time.Microsecond,
+			DedicatedMemPath:  pj.DedicatedMemPath,
+		}
+		if len(pj.Efficiency) > 0 {
+			p.Efficiency = make(map[model.OpKind]float64, len(pj.Efficiency))
+			for name, v := range pj.Efficiency {
+				opKind, ok := opKindByName[name]
+				if !ok {
+					return fmt.Errorf("soc: processor %q has unknown operator %q", pj.ID, name)
+				}
+				p.Efficiency[opKind] = v
+			}
+		}
+		if pj.Thermal != nil {
+			p.Thermal = *pj.Thermal
+		}
+		if pj.Power != nil {
+			p.Power = *pj.Power
+		}
+		decoded.Processors[i] = p
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*s = decoded
+	return nil
+}

@@ -1,0 +1,71 @@
+package soc
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hetero2pipe/internal/model"
+)
+
+func TestSoCJSONRoundTrip(t *testing.T) {
+	for _, orig := range append(Presets(), DesktopCUDA()) {
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", orig.Name, err)
+		}
+		var decoded SoC
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", orig.Name, err)
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("%s: decoded SoC invalid: %v", orig.Name, err)
+		}
+		if decoded.Name != orig.Name || decoded.NumProcessors() != orig.NumProcessors() {
+			t.Fatalf("%s: header mismatch", orig.Name)
+		}
+		if decoded.BusBandwidthGBps != orig.BusBandwidthGBps ||
+			decoded.CopyLatency != orig.CopyLatency ||
+			decoded.MemoryCapacityBytes != orig.MemoryCapacityBytes {
+			t.Fatalf("%s: scalar field mismatch", orig.Name)
+		}
+		for i := range orig.Processors {
+			op, dp := &orig.Processors[i], &decoded.Processors[i]
+			if op.ID != dp.ID || op.Kind != dp.Kind || op.Cores != dp.Cores ||
+				op.PeakGFLOPS != dp.PeakGFLOPS || op.LaunchOverhead != dp.LaunchOverhead ||
+				op.Thermal != dp.Thermal || op.DedicatedMemPath != dp.DedicatedMemPath {
+				t.Fatalf("%s/%s: processor mismatch", orig.Name, op.ID)
+			}
+			if len(op.Efficiency) != len(dp.Efficiency) {
+				t.Fatalf("%s/%s: efficiency table size mismatch", orig.Name, op.ID)
+			}
+			for k, v := range op.Efficiency {
+				if dp.Efficiency[k] != v {
+					t.Fatalf("%s/%s: efficiency[%v] mismatch", orig.Name, op.ID, k)
+				}
+			}
+		}
+		// The decoded SoC must behave identically: same layer time for a
+		// probe layer on every processor.
+		probe := model.MustByName(model.ResNet50).Layers[5]
+		for i := range orig.Processors {
+			if orig.Processors[i].LayerTime(probe) != decoded.Processors[i].LayerTime(probe) {
+				t.Fatalf("%s/%s: decoded behaviour differs", orig.Name, orig.Processors[i].ID)
+			}
+		}
+	}
+}
+
+func TestSoCJSONRejectsInvalid(t *testing.T) {
+	var s SoC
+	cases := []string{
+		`{`,
+		`{"name":"x","processors":[{"id":"p","kind":"Alien","cores":1,"peakGFLOPS":1,"defaultEfficiency":0.5,"soloBandwidthGBps":1}],"busBandwidthGBps":1,"copyBandwidthGBps":1,"memoryCapacityBytes":1}`,
+		`{"name":"x","processors":[{"id":"p","kind":"GPU","cores":1,"peakGFLOPS":1,"defaultEfficiency":0.5,"soloBandwidthGBps":1,"efficiency":{"Alien":0.5}}],"busBandwidthGBps":1,"copyBandwidthGBps":1,"memoryCapacityBytes":1}`,
+		`{"name":"","processors":[],"busBandwidthGBps":1,"copyBandwidthGBps":1,"memoryCapacityBytes":1}`,
+	}
+	for i, src := range cases {
+		if err := json.Unmarshal([]byte(src), &s); err == nil {
+			t.Errorf("case %d: invalid document accepted", i)
+		}
+	}
+}

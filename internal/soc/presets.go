@@ -1,0 +1,257 @@
+package soc
+
+import (
+	"time"
+
+	"hetero2pipe/internal/model"
+)
+
+// Presets for the paper's three evaluation SoCs. Absolute throughput numbers
+// are calibrated to the paper's anchor points (MobileNetV2 ≈ 76 FPS on the
+// 778G CPU, ResNet50 > 100 FPS on the Kirin 990 NPU, BERT ≈ 550 ms on the
+// Kirin big cluster); what the experiments depend on is the capability
+// ordering NPU ≫ CPU_B ≥ GPU ≫ CPU_S and the bus oversubscription.
+
+// Efficiency tables: the achievable fraction of peak per operator class.
+// CPUs run NEON GEMM kernels that favour cache-blocked convolutions; large
+// MatMul/attention working sets spill L2 and lose efficiency (Obs. 2).
+// Embedded GPUs favour wide convolutions; NPUs are conv engines.
+func cpuEfficiency() map[model.OpKind]float64 {
+	return map[model.OpKind]float64{
+		model.OpConv:          0.50,
+		model.OpDepthwiseConv: 0.30,
+		model.OpFC:            0.25,
+		model.OpMatMul:        0.28,
+		model.OpAttention:     0.22,
+		model.OpLayerNorm:     0.10,
+		model.OpPool:          0.15,
+		model.OpActivation:    0.12,
+	}
+}
+
+func gpuEfficiency() map[model.OpKind]float64 {
+	return map[model.OpKind]float64{
+		model.OpConv:          0.55,
+		model.OpDepthwiseConv: 0.20,
+		model.OpFC:            0.35,
+		model.OpMatMul:        0.35,
+		model.OpAttention:     0.25,
+		model.OpLayerNorm:     0.08,
+		model.OpPool:          0.12,
+		model.OpActivation:    0.10,
+	}
+}
+
+func npuEfficiency() map[model.OpKind]float64 {
+	return map[model.OpKind]float64{
+		model.OpConv:          0.60,
+		model.OpDepthwiseConv: 0.45,
+		model.OpFC:            0.50,
+		model.OpPool:          0.30,
+		model.OpActivation:    0.30,
+	}
+}
+
+// cpuThermal matches Appendix B: CPUs cross 60 °C with a visible slowdown.
+func cpuThermal() Thermal {
+	return Thermal{
+		AmbientC:        32,
+		SteadyC:         68,
+		ThrottleC:       55,
+		MaxSlowdown:     1.25,
+		TimeConstantSec: 45,
+	}
+}
+
+// acceleratorThermal matches Appendix B: GPU/NPU stay inside 50 °C.
+func acceleratorThermal() Thermal {
+	return Thermal{
+		AmbientC:        32,
+		SteadyC:         48,
+		ThrottleC:       55, // never reached: no throttling
+		MaxSlowdown:     1.0,
+		TimeConstantSec: 60,
+	}
+}
+
+// Kirin990 returns the HiSilicon Kirin 990 preset: 2×A76@2.86 + 2×A76@2.09
+// big cluster, 4×A55 little cluster, Mali-G76 MP16 GPU and the DaVinci NPU.
+func Kirin990() *SoC {
+	return &SoC{
+		Name: "Kirin990",
+		Processors: []Processor{
+			{
+				ID: "npu", Kind: KindNPU, Cores: 1,
+				PeakGFLOPS: 2400, Efficiency: npuEfficiency(), DefaultEfficiency: 0.25,
+				SoloBandwidthGBps: 14, L2Bytes: 8 << 20,
+				LaunchOverhead: 900 * time.Microsecond, DedicatedMemPath: 0.99,
+				Thermal: acceleratorThermal(),
+			},
+			{
+				ID: "cpu-big", Kind: KindCPUBig, Cores: 4,
+				PeakGFLOPS: 180, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 11, L2Bytes: 1 << 20,
+				LaunchOverhead: 60 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+			{
+				ID: "gpu", Kind: KindGPU, Cores: 1,
+				PeakGFLOPS: 190, Efficiency: gpuEfficiency(), DefaultEfficiency: 0.12,
+				SoloBandwidthGBps: 12, L2Bytes: 2 << 20,
+				LaunchOverhead: 350 * time.Microsecond,
+				Thermal:        acceleratorThermal(),
+			},
+			{
+				ID: "cpu-small", Kind: KindCPUSmall, Cores: 4,
+				PeakGFLOPS: 36, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 5, L2Bytes: 512 << 10,
+				LaunchOverhead: 80 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+		},
+		BusBandwidthGBps:    16,
+		CopyBandwidthGBps:   8,
+		CopyLatency:         120 * time.Microsecond,
+		MemoryCapacityBytes: 2500 << 20, // ~2.5 GB available (Fig. 9)
+		MemFreqLevelsMHz:    []int{547, 1094, 1333, 1866, 2133},
+	}
+}
+
+// Snapdragon778G returns the Snapdragon 778G preset: 1+3 A78 big cluster,
+// 4×A55, Adreno 642L GPU and the Hexagon 770 accelerator (weaker and with
+// the same restricted operator coverage as other mobile NPUs).
+func Snapdragon778G() *SoC {
+	return &SoC{
+		Name: "Snapdragon778G",
+		Processors: []Processor{
+			{
+				ID: "npu", Kind: KindNPU, Cores: 1,
+				PeakGFLOPS: 1000, Efficiency: npuEfficiency(), DefaultEfficiency: 0.2,
+				SoloBandwidthGBps: 10, L2Bytes: 4 << 20,
+				LaunchOverhead: 1100 * time.Microsecond, DedicatedMemPath: 0.98,
+				Thermal: acceleratorThermal(),
+			},
+			{
+				ID: "cpu-big", Kind: KindCPUBig, Cores: 4,
+				PeakGFLOPS: 150, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 10, L2Bytes: 1 << 20,
+				LaunchOverhead: 60 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+			{
+				ID: "gpu", Kind: KindGPU, Cores: 1,
+				PeakGFLOPS: 140, Efficiency: gpuEfficiency(), DefaultEfficiency: 0.12,
+				SoloBandwidthGBps: 10, L2Bytes: 1 << 20,
+				LaunchOverhead: 400 * time.Microsecond,
+				Thermal:        acceleratorThermal(),
+			},
+			{
+				ID: "cpu-small", Kind: KindCPUSmall, Cores: 4,
+				PeakGFLOPS: 34, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 4.5, L2Bytes: 512 << 10,
+				LaunchOverhead: 80 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+		},
+		BusBandwidthGBps:    14,
+		CopyBandwidthGBps:   7,
+		CopyLatency:         130 * time.Microsecond,
+		MemoryCapacityBytes: 2200 << 20,
+		MemFreqLevelsMHz:    []int{547, 1094, 1333, 1866},
+	}
+}
+
+// Snapdragon870 returns the Snapdragon 870 preset: 1×A77@3.2 + 3×A77 big
+// cluster, 4×A55, Adreno 650 GPU and the Hexagon 698 accelerator.
+func Snapdragon870() *SoC {
+	return &SoC{
+		Name: "Snapdragon870",
+		Processors: []Processor{
+			{
+				ID: "npu", Kind: KindNPU, Cores: 1,
+				PeakGFLOPS: 1400, Efficiency: npuEfficiency(), DefaultEfficiency: 0.22,
+				SoloBandwidthGBps: 12, L2Bytes: 4 << 20,
+				LaunchOverhead: 1000 * time.Microsecond, DedicatedMemPath: 0.985,
+				Thermal: acceleratorThermal(),
+			},
+			{
+				ID: "cpu-big", Kind: KindCPUBig, Cores: 4,
+				PeakGFLOPS: 200, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 12, L2Bytes: 1 << 20,
+				LaunchOverhead: 55 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+			{
+				ID: "gpu", Kind: KindGPU, Cores: 1,
+				PeakGFLOPS: 220, Efficiency: gpuEfficiency(), DefaultEfficiency: 0.12,
+				SoloBandwidthGBps: 12, L2Bytes: 1 << 20,
+				LaunchOverhead: 380 * time.Microsecond,
+				Thermal:        acceleratorThermal(),
+			},
+			{
+				ID: "cpu-small", Kind: KindCPUSmall, Cores: 4,
+				PeakGFLOPS: 34, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 4.5, L2Bytes: 512 << 10,
+				LaunchOverhead: 80 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+		},
+		BusBandwidthGBps:    17,
+		CopyBandwidthGBps:   8.5,
+		CopyLatency:         110 * time.Microsecond,
+		MemoryCapacityBytes: 2800 << 20,
+		MemFreqLevelsMHz:    []int{547, 1094, 1333, 1866, 2133},
+	}
+}
+
+// DesktopCUDA returns a desktop CUDA GPU reference used only for the
+// Fig. 13 batching comparison: abundant on-chip memory keeps batched
+// latency sub-linear, unlike the mobile processors.
+func DesktopCUDA() *SoC {
+	return &SoC{
+		Name: "DesktopCUDA",
+		Processors: []Processor{
+			{
+				ID: "cuda", Kind: KindDesktopGPU, Cores: 1,
+				PeakGFLOPS: 20000, DefaultEfficiency: 0.45,
+				Efficiency: map[model.OpKind]float64{
+					model.OpConv:      0.60,
+					model.OpMatMul:    0.65,
+					model.OpFC:        0.60,
+					model.OpAttention: 0.50,
+				},
+				SoloBandwidthGBps: 450, L2Bytes: 40 << 20,
+				LaunchOverhead: 30 * time.Microsecond,
+			},
+		},
+		BusBandwidthGBps:    450,
+		CopyBandwidthGBps:   25,
+		CopyLatency:         20 * time.Microsecond,
+		MemoryCapacityBytes: 12 << 30,
+		MemFreqLevelsMHz:    []int{7000},
+	}
+}
+
+// Presets returns the three evaluation SoCs in the paper's order.
+func Presets() []*SoC {
+	return []*SoC{Snapdragon778G(), Snapdragon870(), Kirin990()}
+}
+
+// PresetByName returns the named preset SoC, or nil.
+func PresetByName(name string) *SoC {
+	switch name {
+	case "Kirin990":
+		return Kirin990()
+	case "Snapdragon778G":
+		return Snapdragon778G()
+	case "Snapdragon870":
+		return Snapdragon870()
+	case "DesktopCUDA":
+		return DesktopCUDA()
+	case "Snapdragon8Gen2":
+		return Snapdragon8Gen2()
+	case "Dimensity9200":
+		return Dimensity9200()
+	}
+	return nil
+}

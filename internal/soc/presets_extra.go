@@ -1,0 +1,103 @@
+package soc
+
+import (
+	"time"
+)
+
+// Extra presets beyond the paper's three evaluation SoCs: contemporary
+// flagships with stronger NPUs and wider memory systems. They are not part
+// of Presets() (the Fig. 7 experiments match the paper's trio) but let
+// users and the sensitivity experiment explore how the planning problem
+// shifts as hardware scales.
+
+// Snapdragon8Gen2 returns a Snapdragon 8 Gen 2 preset: 1×X3 + 4×A715/A710
+// performance cores, 3×A510, Adreno 740 and a strong Hexagon NPU over
+// LPDDR5X.
+func Snapdragon8Gen2() *SoC {
+	return &SoC{
+		Name: "Snapdragon8Gen2",
+		Processors: []Processor{
+			{
+				ID: "npu", Kind: KindNPU, Cores: 1,
+				PeakGFLOPS: 4200, Efficiency: npuEfficiency(), DefaultEfficiency: 0.3,
+				SoloBandwidthGBps: 22, L2Bytes: 8 << 20,
+				LaunchOverhead: 700 * time.Microsecond, DedicatedMemPath: 0.99,
+				Thermal: acceleratorThermal(),
+			},
+			{
+				ID: "cpu-big", Kind: KindCPUBig, Cores: 5,
+				PeakGFLOPS: 340, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 18, L2Bytes: 2 << 20,
+				LaunchOverhead: 45 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+			{
+				ID: "gpu", Kind: KindGPU, Cores: 1,
+				PeakGFLOPS: 420, Efficiency: gpuEfficiency(), DefaultEfficiency: 0.12,
+				SoloBandwidthGBps: 20, L2Bytes: 3 << 20,
+				LaunchOverhead: 280 * time.Microsecond,
+				Thermal:        acceleratorThermal(),
+			},
+			{
+				ID: "cpu-small", Kind: KindCPUSmall, Cores: 3,
+				PeakGFLOPS: 40, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 6, L2Bytes: 512 << 10,
+				LaunchOverhead: 70 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+		},
+		BusBandwidthGBps:    28,
+		CopyBandwidthGBps:   14,
+		CopyLatency:         90 * time.Microsecond,
+		MemoryCapacityBytes: 5 << 30,
+		MemFreqLevelsMHz:    []int{547, 1094, 1555, 2092, 3196},
+	}
+}
+
+// Dimensity9200 returns a MediaTek Dimensity 9200 preset: 1×X3 + 3×A715,
+// 4×A510, Immortalis-G715 GPU and APU 690 over LPDDR5X.
+func Dimensity9200() *SoC {
+	return &SoC{
+		Name: "Dimensity9200",
+		Processors: []Processor{
+			{
+				ID: "npu", Kind: KindNPU, Cores: 1,
+				PeakGFLOPS: 3600, Efficiency: npuEfficiency(), DefaultEfficiency: 0.28,
+				SoloBandwidthGBps: 20, L2Bytes: 8 << 20,
+				LaunchOverhead: 750 * time.Microsecond, DedicatedMemPath: 0.985,
+				Thermal: acceleratorThermal(),
+			},
+			{
+				ID: "cpu-big", Kind: KindCPUBig, Cores: 4,
+				PeakGFLOPS: 300, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 17, L2Bytes: 2 << 20,
+				LaunchOverhead: 50 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+			{
+				ID: "gpu", Kind: KindGPU, Cores: 1,
+				PeakGFLOPS: 380, Efficiency: gpuEfficiency(), DefaultEfficiency: 0.12,
+				SoloBandwidthGBps: 19, L2Bytes: 2 << 20,
+				LaunchOverhead: 300 * time.Microsecond,
+				Thermal:        acceleratorThermal(),
+			},
+			{
+				ID: "cpu-small", Kind: KindCPUSmall, Cores: 4,
+				PeakGFLOPS: 44, Efficiency: cpuEfficiency(), DefaultEfficiency: 0.15,
+				SoloBandwidthGBps: 6, L2Bytes: 512 << 10,
+				LaunchOverhead: 70 * time.Microsecond,
+				Thermal:        cpuThermal(),
+			},
+		},
+		BusBandwidthGBps:    26,
+		CopyBandwidthGBps:   13,
+		CopyLatency:         95 * time.Microsecond,
+		MemoryCapacityBytes: 5 << 30,
+		MemFreqLevelsMHz:    []int{547, 1094, 1555, 2092, 3000},
+	}
+}
+
+// AllPresets returns every built-in SoC, evaluation trio first.
+func AllPresets() []*SoC {
+	return append(Presets(), Snapdragon8Gen2(), Dimensity9200(), DesktopCUDA())
+}

@@ -1,0 +1,81 @@
+package soc
+
+import (
+	"fmt"
+
+	"hetero2pipe/internal/model"
+)
+
+// Cluster splitting (Appendix A). Pipe-it partitions CPU clusters at
+// per-core granularity; the paper measures up to ~70 % slowdown from
+// conflicting L2 evictions (Fig. 10) and therefore schedules clusters
+// whole. SplitCluster derives an SoC in which one CPU cluster is divided
+// into two sub-stages so that design point can be evaluated directly: each
+// sub-partition receives a proportional share of compute and of the shared
+// L2 (halved again for conflict misses), and both inherit a slowdown-prone
+// position on the cluster's single memory port via a reduced solo
+// bandwidth. The ablation experiment shows this loses to whole-cluster
+// scheduling, reproducing the paper's design decision.
+
+// SplitCluster returns a copy of s in which the first processor of the
+// given kind is replaced by two sub-cluster stages of coresA and coresB
+// cores (coresA + coresB must equal the cluster's core count). Processor
+// order is preserved, with the two sub-stages adjacent.
+func SplitCluster(s *SoC, kind Kind, coresA int) (*SoC, error) {
+	idxs := s.ProcessorsOfKind(kind)
+	if len(idxs) == 0 {
+		return nil, fmt.Errorf("soc: no processor of kind %v to split", kind)
+	}
+	idx := idxs[0]
+	base := s.Processors[idx]
+	if base.Kind != KindCPUBig && base.Kind != KindCPUSmall {
+		return nil, fmt.Errorf("soc: %s is indivisible (GPU/NPU cannot be partitioned)", base.ID)
+	}
+	coresB := base.Cores - coresA
+	if coresA < 1 || coresB < 1 {
+		return nil, fmt.Errorf("soc: cannot split %d cores into %d + %d", base.Cores, coresA, coresB)
+	}
+
+	sub := func(suffix string, cores int) Processor {
+		p := base
+		frac := float64(cores) / float64(base.Cores)
+		p.ID = base.ID + suffix
+		p.Cores = cores
+		p.PeakGFLOPS = base.PeakGFLOPS * frac
+		// Shared L2: proportional share, halved again by conflict misses
+		// between the co-resident partitions (Fig. 10's mechanism).
+		p.L2Bytes = int64(float64(base.L2Bytes) * frac / 2)
+		// The cluster's memory port is shared; either partition alone can
+		// burst to most of it, but sustained solo bandwidth shrinks.
+		p.SoloBandwidthGBps = base.SoloBandwidthGBps * (0.5 + 0.5*frac)
+		// Efficiency maps are shared immutable references; copy to keep
+		// the derived SoC independent.
+		eff := make(map[model.OpKind]float64, len(base.Efficiency))
+		for k, v := range base.Efficiency {
+			eff[k] = v
+		}
+		p.Efficiency = eff
+		return p
+	}
+
+	out := &SoC{
+		Name:                s.Name + "-split",
+		Processors:          make([]Processor, 0, len(s.Processors)+1),
+		BusBandwidthGBps:    s.BusBandwidthGBps,
+		CopyBandwidthGBps:   s.CopyBandwidthGBps,
+		CopyLatency:         s.CopyLatency,
+		MemoryCapacityBytes: s.MemoryCapacityBytes,
+		MemFreqLevelsMHz:    append([]int(nil), s.MemFreqLevelsMHz...),
+	}
+	for i := range s.Processors {
+		if i == idx {
+			out.Processors = append(out.Processors, sub("-a", coresA), sub("-b", coresB))
+			continue
+		}
+		out.Processors = append(out.Processors, s.Processors[i])
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("soc: split produced invalid SoC: %w", err)
+	}
+	return out, nil
+}

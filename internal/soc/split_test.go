@@ -1,0 +1,89 @@
+package soc
+
+import (
+	"testing"
+
+	"hetero2pipe/internal/model"
+)
+
+func TestSplitClusterStructure(t *testing.T) {
+	base := Kirin990()
+	split, err := SplitCluster(base, KindCPUBig, 2)
+	if err != nil {
+		t.Fatalf("SplitCluster: %v", err)
+	}
+	if err := split.Validate(); err != nil {
+		t.Fatalf("split SoC invalid: %v", err)
+	}
+	if got, want := split.NumProcessors(), base.NumProcessors()+1; got != want {
+		t.Fatalf("split has %d processors, want %d", got, want)
+	}
+	a, b := split.Processor("cpu-big-a"), split.Processor("cpu-big-b")
+	if a == nil || b == nil {
+		t.Fatal("sub-cluster processors missing")
+	}
+	orig := base.Processor("cpu-big")
+	if a.Cores+b.Cores != orig.Cores {
+		t.Errorf("core split %d+%d != %d", a.Cores, b.Cores, orig.Cores)
+	}
+	if a.PeakGFLOPS+b.PeakGFLOPS > orig.PeakGFLOPS+1e-9 {
+		t.Error("split created compute from nothing")
+	}
+	if a.L2Bytes >= orig.L2Bytes {
+		t.Error("sub-cluster keeps full L2; conflict sharing not applied")
+	}
+	if a.SoloBandwidthGBps >= orig.SoloBandwidthGBps {
+		t.Error("sub-cluster keeps full memory-port bandwidth")
+	}
+	// Efficiency map must be an independent copy.
+	a.Efficiency[model.OpConv] = 0.01
+	if base.Processor("cpu-big").Efficiency[model.OpConv] == 0.01 {
+		t.Error("split shares efficiency map with the base SoC")
+	}
+}
+
+func TestSplitClusterErrors(t *testing.T) {
+	base := Kirin990()
+	if _, err := SplitCluster(base, KindGPU, 1); err == nil {
+		t.Error("splitting the GPU accepted; GPUs are indivisible")
+	}
+	if _, err := SplitCluster(base, KindCPUBig, 0); err == nil {
+		t.Error("0-core partition accepted")
+	}
+	if _, err := SplitCluster(base, KindCPUBig, 4); err == nil {
+		t.Error("4+0 partition accepted")
+	}
+	noCPU := &SoC{
+		Name:                "gpuonly",
+		Processors:          []Processor{Kirin990().Processors[2]},
+		BusBandwidthGBps:    10,
+		CopyBandwidthGBps:   5,
+		MemoryCapacityBytes: 1 << 30,
+	}
+	if _, err := SplitCluster(noCPU, KindCPUBig, 2); err == nil {
+		t.Error("splitting a missing cluster accepted")
+	}
+}
+
+// TestSplitClusterSlower: a sub-partitioned cluster executes any model
+// slower than the whole cluster (fewer cores, shared L2 conflicts).
+func TestSplitClusterSlower(t *testing.T) {
+	base := Kirin990()
+	split, err := SplitCluster(base, KindCPUBig, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := base.Processor("cpu-big")
+	sub := split.Processor("cpu-big-a")
+	for _, name := range []string{model.ResNet50, model.BERT} {
+		m := model.MustByName(name)
+		var wt, st float64
+		for _, l := range m.Layers {
+			wt += whole.LayerTime(l).Seconds()
+			st += sub.LayerTime(l).Seconds()
+		}
+		if st <= wt {
+			t.Errorf("%s: sub-cluster %.3fs not slower than whole cluster %.3fs", name, st, wt)
+		}
+	}
+}

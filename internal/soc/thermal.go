@@ -1,0 +1,61 @@
+package soc
+
+import "math"
+
+// Thermal models sustained-load throttling (paper Appendix B): under
+// continuous inference the CPU clusters exceed 60 °C and shed frequency,
+// while the GPU/NPU stay inside a 50 °C envelope. The paper runs all
+// experiments at the thermal steady state, so the substrate exposes the
+// steady-state slowdown factor directly and a simple first-order temperature
+// trajectory for the Appendix-B figure.
+type Thermal struct {
+	// AmbientC is the idle temperature.
+	AmbientC float64
+	// SteadyC is the fully-loaded steady-state temperature.
+	SteadyC float64
+	// ThrottleC is the threshold above which frequency scaling engages.
+	ThrottleC float64
+	// MaxSlowdown is the latency dilation factor at SteadyC (≥ 1).
+	MaxSlowdown float64
+	// TimeConstantSec is the first-order heating time constant.
+	TimeConstantSec float64
+}
+
+// zero value: no throttling.
+
+// TempAt returns the temperature after t seconds of continuous full load,
+// following a first-order exponential approach to SteadyC.
+func (th Thermal) TempAt(seconds float64) float64 {
+	if th.TimeConstantSec <= 0 || th.SteadyC <= th.AmbientC {
+		return th.AmbientC
+	}
+	frac := 1 - expNeg(seconds/th.TimeConstantSec)
+	return th.AmbientC + (th.SteadyC-th.AmbientC)*frac
+}
+
+// FactorAt returns the latency dilation factor at the given temperature:
+// 1 below ThrottleC, rising linearly to MaxSlowdown at SteadyC.
+func (th Thermal) FactorAt(tempC float64) float64 {
+	if th.MaxSlowdown <= 1 || th.SteadyC <= th.ThrottleC || tempC <= th.ThrottleC {
+		return 1
+	}
+	frac := (tempC - th.ThrottleC) / (th.SteadyC - th.ThrottleC)
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 + (th.MaxSlowdown-1)*frac
+}
+
+// SteadyStateFactor returns the dilation factor at thermal steady state —
+// the regime in which the paper profiles and evaluates everything.
+func (th Thermal) SteadyStateFactor() float64 {
+	return th.FactorAt(th.SteadyC)
+}
+
+// expNeg computes e^-x clamped to x ≥ 0.
+func expNeg(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,204 @@
+// Package stream runs Hetero²Pipe online: inference requests arrive over
+// (virtual) time and the planner is invoked per planning window, the
+// deployment mode Sec. V closes on — "in case of more inference requests,
+// the planner should be scheduled more frequently to avoid enlarged search
+// space". Windows execute back to back on the SoC; within a window the full
+// two-step plan applies.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+)
+
+// Request is one arriving inference job.
+type Request struct {
+	// Model is the network to run.
+	Model *model.Model
+	// Arrival is the virtual arrival time.
+	Arrival time.Duration
+}
+
+// Config tunes the online scheduler.
+type Config struct {
+	// MaxWindow caps the number of requests planned together. Larger
+	// windows give the planner more freedom but grow its search space —
+	// the trade-off the paper's complexity analysis describes.
+	MaxWindow int
+	// MaxBatch, when above 1, coalesces lightweight same-model requests
+	// inside each window (Appendix D).
+	MaxBatch int
+}
+
+// DefaultConfig plans up to eight requests per window with batching on.
+func DefaultConfig() Config {
+	return Config{MaxWindow: 8, MaxBatch: 32}
+}
+
+// Result aggregates the online run.
+type Result struct {
+	// Completions[i] is the absolute completion time of request i.
+	Completions []time.Duration
+	// Sojourns[i] is completion − arrival for request i.
+	Sojourns []time.Duration
+	// Makespan is the completion of the last request.
+	Makespan time.Duration
+	// Windows is the number of planning invocations.
+	Windows int
+}
+
+// MeanSojourn returns the average request sojourn time.
+func (r *Result) MeanSojourn() time.Duration {
+	if len(r.Sojourns) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.Sojourns {
+		sum += s
+	}
+	return sum / time.Duration(len(r.Sojourns))
+}
+
+// P95Sojourn returns the 95th-percentile sojourn.
+func (r *Result) P95Sojourn() time.Duration {
+	if len(r.Sojourns) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.Sojourns))
+	copy(sorted, r.Sojourns)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	idx := (len(sorted)*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// Scheduler drives the per-window planning loop.
+type Scheduler struct {
+	planner *core.Planner
+	cfg     Config
+}
+
+// NewScheduler wraps a planner for online use.
+func NewScheduler(planner *core.Planner, cfg Config) (*Scheduler, error) {
+	if planner == nil {
+		return nil, errors.New("stream: nil planner")
+	}
+	if cfg.MaxWindow < 1 {
+		return nil, fmt.Errorf("stream: max window %d < 1", cfg.MaxWindow)
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	return &Scheduler{planner: planner, cfg: cfg}, nil
+}
+
+// Run executes the request stream to completion. Requests must be sorted by
+// arrival time. The virtual clock advances window by window: each planning
+// round takes every request that has arrived (up to MaxWindow, FIFO), plans
+// it, executes the window, and the clock jumps to the window's completion —
+// or to the next arrival when the SoC is idle.
+func (s *Scheduler) Run(requests []Request, execOpts pipeline.Options) (*Result, error) {
+	n := len(requests)
+	res := &Result{
+		Completions: make([]time.Duration, n),
+		Sojourns:    make([]time.Duration, n),
+	}
+	for i := 1; i < n; i++ {
+		if requests[i].Arrival < requests[i-1].Arrival {
+			return nil, fmt.Errorf("stream: requests not sorted by arrival at %d", i)
+		}
+	}
+	now := time.Duration(0)
+	next := 0
+	for next < n {
+		if requests[next].Arrival > now {
+			now = requests[next].Arrival // idle until the next arrival
+		}
+		// Gather the window.
+		end := next
+		for end < n && end-next < s.cfg.MaxWindow && requests[end].Arrival <= now {
+			end++
+		}
+		window := requests[next:end]
+		models := make([]*model.Model, len(window))
+		for i, rq := range window {
+			models[i] = rq.Model
+		}
+
+		var sched *pipeline.Schedule
+		var groups []core.BatchGroup
+		var err error
+		if s.cfg.MaxBatch > 1 {
+			var plan *core.Plan
+			plan, groups, err = s.planner.PlanBatched(models, s.cfg.MaxBatch)
+			if err == nil {
+				sched = plan.Schedule
+			}
+		} else {
+			var plan *core.Plan
+			plan, err = s.planner.PlanModels(models)
+			if err == nil {
+				sched = plan.Schedule
+				groups = identityGroups(models, plan.Order)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: planning window at %v: %w", now, err)
+		}
+		exec, err := pipeline.Execute(sched, execOpts)
+		if err != nil {
+			return nil, fmt.Errorf("stream: executing window at %v: %w", now, err)
+		}
+		// Map group completions back to original requests.
+		for pos, g := range groups {
+			done := now + exec.Completions[pos]
+			for _, local := range g.Requests {
+				global := next + local
+				res.Completions[global] = done
+				res.Sojourns[global] = done - requests[global].Arrival
+			}
+		}
+		now += exec.Makespan
+		res.Windows++
+		next = end
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+// identityGroups wraps unbatched requests as singleton groups following the
+// plan's ordering.
+func identityGroups(models []*model.Model, order []int) []core.BatchGroup {
+	out := make([]core.BatchGroup, len(order))
+	for pos, orig := range order {
+		out[pos] = core.BatchGroup{Model: models[orig], Requests: []int{orig}}
+	}
+	return out
+}
+
+// PoissonArrivals generates a deterministic arrival sequence with
+// exponential inter-arrival gaps of the given mean, using a simple LCG so
+// the stream is reproducible without wall-clock or math/rand state.
+func PoissonArrivals(models []*model.Model, meanGap time.Duration, seed uint64) []Request {
+	out := make([]Request, len(models))
+	state := seed*6364136223846793005 + 1442695040888963407
+	at := time.Duration(0)
+	for i, m := range models {
+		state = state*6364136223846793005 + 1442695040888963407
+		// Uniform in (0, 1] from the top bits.
+		u := float64(state>>11)/float64(1<<53) + 1e-12
+		gap := time.Duration(-float64(meanGap) * math.Log(u))
+		at += gap
+		out[i] = Request{Model: m, Arrival: at}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hetero2pipe/internal/pipeline"
+)
+
+// Chrome trace-event export: the executed timeline rendered as a
+// chrome://tracing / Perfetto-compatible JSON document, one track per
+// processor, one complete ("X") event per executed slice. Load the output
+// in any trace viewer to inspect pipeline fill, bubbles and slowdown.
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	// TsMicros and DurMicros are in microseconds per the trace format.
+	TsMicros  float64           `json:"ts"`
+	DurMicros float64           `json:"dur,omitempty"`
+	PID       int               `json:"pid"`
+	TID       int               `json:"tid"`
+	Args      map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders an executed schedule as trace-event JSON. Track IDs
+// (tid) follow the SoC's processor order; event names are the request's
+// model names.
+func ChromeTrace(sched *pipeline.Schedule, res *pipeline.Result) ([]byte, error) {
+	if sched == nil || res == nil {
+		return nil, fmt.Errorf("trace: nil schedule or result")
+	}
+	events := make([]chromeEvent, 0, len(res.Timeline)+sched.NumStages())
+	for k := 0; k < sched.NumStages(); k++ {
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   k,
+			Args:  map[string]string{"name": sched.SoC.Processors[k].ID},
+		})
+	}
+	for _, e := range res.Timeline {
+		m := sched.Profiles[e.Request].Model()
+		r := sched.Stages[e.Request][e.Stage]
+		events = append(events, chromeEvent{
+			Name:      m.Name,
+			Phase:     "X",
+			TsMicros:  float64(e.Start.Microseconds()),
+			DurMicros: float64((e.End - e.Start).Microseconds()),
+			PID:       1,
+			TID:       e.Stage,
+			Args: map[string]string{
+				"request":  fmt.Sprintf("%d", e.Request),
+				"layers":   fmt.Sprintf("[%d,%d]", r.From, r.To),
+				"slowdown": fmt.Sprintf("%.3f", e.Slowdown),
+			},
+		})
+	}
+	return json.MarshalIndent(events, "", "  ")
+}

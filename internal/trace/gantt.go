@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hetero2pipe/internal/pipeline"
+)
+
+// ASCII Gantt rendering of an executed schedule: one row per processor, one
+// glyph column per time bucket, request indices as glyphs. Bubbles show as
+// dots — the visual the paper's Fig. 4 sketches.
+
+// ganttGlyphs indexes request numbers to printable glyphs (wraps beyond 36).
+const ganttGlyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+// Gantt renders the timeline with the given character width.
+func Gantt(sched *pipeline.Schedule, res *pipeline.Result, width int) string {
+	if sched == nil || res == nil || res.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	bucket := res.Makespan / time.Duration(width)
+	if bucket <= 0 {
+		bucket = time.Nanosecond
+	}
+	rows := make([][]byte, sched.NumStages())
+	for k := range rows {
+		rows[k] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range res.Timeline {
+		glyph := ganttGlyphs[e.Request%len(ganttGlyphs)]
+		from := int(e.Start / bucket)
+		to := int(e.End / bucket)
+		if to >= width {
+			to = width - 1
+		}
+		for c := from; c <= to; c++ {
+			rows[e.Stage][c] = glyph
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (one column ≈ %v, %d requests):\n", bucket.Round(time.Microsecond), sched.NumRequests())
+	for k, row := range rows {
+		fmt.Fprintf(&b, "%-10s |%s|\n", sched.SoC.Processors[k].ID, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+// Package trace models the DVFS memory-frequency governor and converts the
+// executor's memory samples into the Fig. 9 traces: memory-controller
+// frequency (throttled to the maximum once CPU/GPU co-execution demands full
+// bandwidth) and available memory (capacity minus resident inference state).
+package trace
+
+import (
+	"time"
+
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+)
+
+// governorHeadroom is the utilisation target of the DVFS governor: it picks
+// the lowest level keeping bandwidth utilisation under 1/governorHeadroom,
+// mirroring vendor latency-boost governors (e.g. memlat) that scale up
+// aggressively once backend-stall counters fire under multi-agent access.
+const governorHeadroom = 5.0
+
+// FrequencyFor returns the memory-controller frequency (MHz) the governor
+// selects for an instantaneous bus demand: the lowest DVFS level whose
+// proportional bandwidth covers the demand with headroom, or the maximum
+// level when demand exceeds every step — the "running at the maximum state"
+// behaviour Fig. 9 shows once the CPU/GPU join the pipeline.
+func FrequencyFor(s *soc.SoC, demandGBps float64) int {
+	levels := s.MemFreqLevelsMHz
+	if len(levels) == 0 {
+		return 0
+	}
+	maxFreq := levels[len(levels)-1]
+	for _, f := range levels {
+		bw := s.BusBandwidthGBps * float64(f) / float64(maxFreq)
+		if bw >= demandGBps*governorHeadroom {
+			return f
+		}
+	}
+	return maxFreq
+}
+
+// Point is one sample of the Fig. 9 trace.
+type Point struct {
+	// At is the virtual timestamp.
+	At time.Duration
+	// FreqMHz is the governor-selected memory frequency.
+	FreqMHz int
+	// AvailableBytes is capacity minus resident inference memory.
+	AvailableBytes int64
+	// DemandGBps is the instantaneous bus demand.
+	DemandGBps float64
+}
+
+// FromResult converts an executed schedule's memory samples into trace
+// points. Baseline available memory is the SoC capacity (the paper's
+// ~2.5 GB initially-available figure).
+func FromResult(s *soc.SoC, res *pipeline.Result) []Point {
+	out := make([]Point, 0, len(res.MemTrace))
+	for _, m := range res.MemTrace {
+		avail := s.MemoryCapacityBytes - m.UsedBytes
+		if avail < 0 {
+			avail = 0
+		}
+		out = append(out, Point{
+			At:             m.At,
+			FreqMHz:        FrequencyFor(s, m.DemandGBps),
+			AvailableBytes: avail,
+			DemandGBps:     m.DemandGBps,
+		})
+	}
+	return out
+}
+
+// MinAvailable returns the lowest available-memory point, the number
+// Fig. 9's discussion tracks ("brings the available memory down to
+// 500 MB").
+func MinAvailable(points []Point) int64 {
+	if len(points) == 0 {
+		return 0
+	}
+	min := points[0].AvailableBytes
+	for _, p := range points[1:] {
+		if p.AvailableBytes < min {
+			min = p.AvailableBytes
+		}
+	}
+	return min
+}
+
+// MaxFrequency returns the highest governor frequency reached.
+func MaxFrequency(points []Point) int {
+	max := 0
+	for _, p := range points {
+		if p.FreqMHz > max {
+			max = p.FreqMHz
+		}
+	}
+	return max
+}

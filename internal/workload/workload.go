@@ -1,0 +1,116 @@
+// Package workload generates the multi-DNN request streams of the paper's
+// evaluation: seeded random model combinations (the "100 random model
+// combinations" of Fig. 7/8) and the application-shaped mixes used by the
+// examples. All generation is deterministic under an explicit seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetero2pipe/internal/model"
+)
+
+// Generator produces random model combinations from the zoo.
+type Generator struct {
+	rng      *rand.Rand
+	names    []string
+	min, max int
+}
+
+// NewGenerator returns a generator drawing combinations of size
+// [minModels, maxModels] (with replacement) from the full zoo.
+func NewGenerator(seed int64, minModels, maxModels int) (*Generator, error) {
+	if minModels < 1 || maxModels < minModels {
+		return nil, fmt.Errorf("workload: invalid size range [%d, %d]", minModels, maxModels)
+	}
+	return &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		names: model.Names(),
+		min:   minModels,
+		max:   maxModels,
+	}, nil
+}
+
+// Next returns one random combination of model names.
+func (g *Generator) Next() []string {
+	size := g.min + g.rng.Intn(g.max-g.min+1)
+	combo := make([]string, size)
+	for i := range combo {
+		combo[i] = g.names[g.rng.Intn(len(g.names))]
+	}
+	return combo
+}
+
+// Combos returns n combinations.
+func (g *Generator) Combos(n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Instantiate builds fresh model instances for a combination.
+func Instantiate(names []string) ([]*model.Model, error) {
+	out := make([]*model.Model, len(names))
+	for i, n := range names {
+		m, err := model.ByName(n)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// SceneUnderstanding returns the paper's motivating application mix
+// (Sec. I): "YOLO for robust object detection, FaceNet, Age/GenderNet for
+// facial, age and gender recognition and ViT-GPT2 for scene-to-text
+// captioning" — the captioner contributing its ViT encoder and GPT-2
+// decoder as two pipeline requests.
+func SceneUnderstanding() []string {
+	return []string{
+		model.YOLOv4,       // object detection
+		model.FaceNet,      // face embedding
+		model.AgeGenderNet, // age/gender recognition
+		model.ViT,          // caption encoder
+		model.GPT2Decoder,  // caption decoder
+	}
+}
+
+// VideoAnalytics returns a lightweight continuous-classification stream
+// (Appendix D's batching scenario): many small models with one heavy
+// anchor.
+func VideoAnalytics(frames int) []string {
+	out := make([]string, 0, frames+1)
+	out = append(out, model.BERT)
+	for i := 0; i < frames; i++ {
+		if i%2 == 0 {
+			out = append(out, model.MobileNetV2)
+		} else {
+			out = append(out, model.SqueezeNet)
+		}
+	}
+	return out
+}
+
+// MemoryTiers returns the Fig. 9 pipelines: 1-, 2- and 3-stage request
+// streams built from the footprint tiers (large >300 MB, medium 100–300 MB,
+// light <100 MB). Each tier's mix repeats so the pipeline fills and the
+// stages genuinely co-reside — the condition Fig. 9's traces capture.
+func MemoryTiers() [][]string {
+	heavy, medium, light := model.HeavyNames(), model.MediumNames(), model.LightweightNames()
+	repeat := func(names []string, times int) []string {
+		out := make([]string, 0, len(names)*times)
+		for i := 0; i < times; i++ {
+			out = append(out, names...)
+		}
+		return out
+	}
+	return [][]string{
+		repeat([]string{heavy[0]}, 2),
+		repeat([]string{heavy[0], heavy[1], medium[0]}, 2),
+		repeat([]string{heavy[0], heavy[1], heavy[2], medium[0], light[0]}, 2),
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"hetero2pipe/internal/model"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(7, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(7, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.Combos(20), g2.Combos(20)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("combo %d sizes differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("combo %d differs at %d: %s vs %s", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestGeneratorSizesInRange(t *testing.T) {
+	g, err := NewGenerator(3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, combo := range g.Combos(200) {
+		if len(combo) < 2 || len(combo) > 5 {
+			t.Fatalf("combo size %d outside [2,5]", len(combo))
+		}
+		for _, name := range combo {
+			if _, err := model.ByName(name); err != nil {
+				t.Fatalf("combo contains unknown model %q", name)
+			}
+		}
+	}
+}
+
+func TestGeneratorDiverse(t *testing.T) {
+	g, err := NewGenerator(1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, combo := range g.Combos(100) {
+		for _, n := range combo {
+			seen[n] = true
+		}
+	}
+	if len(seen) < 8 {
+		t.Errorf("only %d distinct models drawn across 100 combos", len(seen))
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(1, 0, 4); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := NewGenerator(1, 5, 4); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	models, err := Instantiate([]string{model.BERT, model.ViT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models[0].Name != model.BERT {
+		t.Fatalf("instantiated %v", models)
+	}
+	if _, err := Instantiate([]string{"nope"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestApplicationMixes(t *testing.T) {
+	if got := SceneUnderstanding(); len(got) != 5 {
+		t.Errorf("SceneUnderstanding size %d", len(got))
+	}
+	va := VideoAnalytics(6)
+	if len(va) != 7 {
+		t.Errorf("VideoAnalytics size %d, want 7", len(va))
+	}
+	light := 0
+	for _, n := range va[1:] {
+		if n == model.MobileNetV2 || n == model.SqueezeNet {
+			light++
+		}
+	}
+	if light != 6 {
+		t.Errorf("VideoAnalytics has %d light models, want 6", light)
+	}
+	tiers := MemoryTiers()
+	if len(tiers) != 3 || len(tiers[0]) != 2 || len(tiers[1]) != 6 || len(tiers[2]) != 10 {
+		t.Errorf("MemoryTiers = %v", tiers)
+	}
+	for _, tier := range tiers {
+		if _, err := Instantiate(tier); err != nil {
+			t.Errorf("tier %v: %v", tier, err)
+		}
+	}
+}
