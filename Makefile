@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet test race diff bench fuzz
+
+## check: the tier-1 gate — everything a PR must keep green.
+check: vet build race diff
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## diff: the planner-equivalence suite — differential tests proving the
+## parallel planning engine produces byte-identical plans to the sequential
+## planner, the 20-run determinism golden, and the cost-cache unit tests.
+diff:
+	$(GO) test -race -count=1 -run 'TestDifferential|TestPlanDeterminismGolden|TestCostCache|TestStreamCostCacheReuse|TestStreamParallelismInvariant|TestExhaustiveParallelMatchesSequential' \
+		./internal/core/ ./internal/stream/ ./internal/baseline/
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx .
+
+## fuzz: a short run of the parallel-vs-sequential differential fuzz target.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParallelPlannerDifferential -fuzztime 30s ./internal/core/

@@ -1,6 +1,7 @@
 package hetero2pipe_test
 
 import (
+	"runtime"
 	"testing"
 
 	"hetero2pipe/internal/baseline"
@@ -105,6 +106,99 @@ func BenchmarkPlannerEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchPlannerParallelism plans a six-model window at a fixed worker count;
+// the Parallelism1 vs ParallelismN pair is the before/after of the parallel
+// planning engine (the plans themselves are byte-identical — see the
+// differential suite — only the planning latency moves).
+func benchPlannerParallelism(b *testing.B, parallelism int) {
+	b.Helper()
+	s, profs := benchProfiles(b, model.YOLOv4, model.SqueezeNet, model.BERT,
+		model.ResNet50, model.VGG16, model.InceptionV4)
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	pl, err := core.NewPlanner(s, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanProfiles(profs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerParallelism1(b *testing.B) { benchPlannerParallelism(b, 1) }
+func BenchmarkPlannerParallelismN(b *testing.B) { benchPlannerParallelism(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkPlanModelsWarmCache measures a full PlanModels with the cost
+// cache warm — the steady state of internal/stream window planning; compare
+// against BenchmarkPlanModelsColdCache for the cache's saving.
+func BenchmarkPlanModelsWarmCache(b *testing.B) {
+	s := soc.Kirin990()
+	models := []*model.Model{
+		model.MustByName(model.YOLOv4), model.MustByName(model.SqueezeNet),
+		model.MustByName(model.BERT), model.MustByName(model.ResNet50),
+	}
+	pl, err := core.NewPlanner(s, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pl.PlanModels(models); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanModels(models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanModelsColdCache re-measures every model each iteration by
+// invalidating the cache — the pre-cache behaviour of per-window planning.
+func BenchmarkPlanModelsColdCache(b *testing.B) {
+	s := soc.Kirin990()
+	models := []*model.Model{
+		model.MustByName(model.YOLOv4), model.MustByName(model.SqueezeNet),
+		model.MustByName(model.BERT), model.MustByName(model.ResNet50),
+	}
+	pl, err := core.NewPlanner(s, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.InvalidateCache()
+		if _, err := pl.PlanModels(models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExhaustiveParallelism runs the Fig. 8 exhaustive reference at a fixed
+// worker count over a five-model grid (120 orderings).
+func benchExhaustiveParallelism(b *testing.B, workers int) {
+	b.Helper()
+	s, profs := benchProfiles(b, model.SqueezeNet, model.ResNet50,
+		model.MobileNetV2, model.GoogLeNet, model.AlexNet)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.ExhaustiveParallel(s, profs, pipeline.DefaultOptions(), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveParallelism1(b *testing.B) { benchExhaustiveParallelism(b, 1) }
+func BenchmarkExhaustiveParallelismN(b *testing.B) {
+	benchExhaustiveParallelism(b, runtime.GOMAXPROCS(0))
 }
 
 func BenchmarkExecutorContention(b *testing.B) {

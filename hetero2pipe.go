@@ -25,7 +25,11 @@ type System struct {
 	planner *core.Planner
 }
 
-// Options re-exports the planner configuration.
+// Options re-exports the planner configuration. Options.Parallelism bounds
+// the planner's worker pool (1 = strictly sequential, ≤ 0 = auto-size to
+// GOMAXPROCS); the planned result is byte-identical at every setting — the
+// engine merges parallel work in deterministic index order — so it is purely
+// a planning-latency knob.
 type Options = core.Options
 
 // DefaultOptions returns the full Hetero²Pipe configuration.
@@ -55,6 +59,17 @@ func NewSystemFor(s *soc.SoC, opts Options) (*System, error) {
 
 // SoC returns the system's SoC description.
 func (sys *System) SoC() *soc.SoC { return sys.soc }
+
+// CacheStats returns the planner's lifetime cost-cache counters: hits are
+// per-(model, processor, batch) cost tables reused from an earlier plan or
+// planning window, misses are fresh measurements. Online streams of
+// recurring models converge to one miss per distinct model.
+func (sys *System) CacheStats() (hits, misses uint64) { return sys.planner.CacheStats() }
+
+// InvalidateCache drops the planner's memoized cost tables. Required after
+// mutating the SoC description in place (e.g. frequency or thermal
+// experiments); the next plan re-measures every model.
+func (sys *System) InvalidateCache() { sys.planner.InvalidateCache() }
 
 // Models lists the built-in network names: the ten-model evaluation zoo
 // followed by the application extras.

@@ -325,3 +325,37 @@ func TestMuLayerMissingProcessors(t *testing.T) {
 		t.Error("missing CPU/GPU accepted")
 	}
 }
+
+// TestExhaustiveParallelMatchesSequential: the parallel grid search must
+// return the same makespan and the same schedule as the strictly sequential
+// walk — the baseline-side differential check.
+func TestExhaustiveParallelMatchesSequential(t *testing.T) {
+	s := soc.Kirin990()
+	profs := profilesOf(t, s, model.SqueezeNet, model.ResNet50, model.MobileNetV2, model.GoogLeNet)
+	opts := pipeline.DefaultOptions()
+	seqSched, seqSpan, err := ExhaustiveParallel(s, profs, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		sched, span, err := ExhaustiveParallel(s, profs, opts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if span != seqSpan {
+			t.Fatalf("workers=%d: makespan %v, sequential %v", workers, span, seqSpan)
+		}
+		for i := range seqSched.Stages {
+			if sched.Profiles[i].Model().Name != seqSched.Profiles[i].Model().Name {
+				t.Fatalf("workers=%d: request %d is %s, sequential %s",
+					workers, i, sched.Profiles[i].Model().Name, seqSched.Profiles[i].Model().Name)
+			}
+			for k := range seqSched.Stages[i] {
+				if sched.Stages[i][k] != seqSched.Stages[i][k] {
+					t.Fatalf("workers=%d: request %d stage %d = %v, sequential %v",
+						workers, i, k, sched.Stages[i][k], seqSched.Stages[i][k])
+				}
+			}
+		}
+	}
+}

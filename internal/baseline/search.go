@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/parallel"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
@@ -67,8 +68,20 @@ const maxExhaustiveRequests = 8
 
 // Exhaustive enumerates every request ordering and returns the best schedule
 // and its makespan. It fails for |M| > 8 — the point of Fig. 8 is precisely
-// that this does not scale.
+// that this does not scale. The grid is evaluated across an auto-sized
+// worker pool; ExhaustiveParallel exposes the worker count.
 func Exhaustive(s *soc.SoC, profiles []*profile.Profile, opts pipeline.Options) (*pipeline.Schedule, time.Duration, error) {
+	return ExhaustiveParallel(s, profiles, opts, 0)
+}
+
+// ExhaustiveParallel runs the exhaustive ordering search with at most
+// workers goroutines (≤ 0 auto-sizes, 1 is strictly sequential). The
+// permutations are enumerated in the sequential walk's order, their spans
+// evaluated independently, and the winner chosen as the lowest-ranked
+// permutation achieving the minimal span — the permutation a sequential
+// first-strict-improvement scan would keep — so the result is identical at
+// every worker count.
+func ExhaustiveParallel(s *soc.SoC, profiles []*profile.Profile, opts pipeline.Options, workers int) (*pipeline.Schedule, time.Duration, error) {
 	m := len(profiles)
 	if m == 0 {
 		return &pipeline.Schedule{SoC: s}, 0, nil
@@ -80,38 +93,60 @@ func Exhaustive(s *soc.SoC, profiles []*profile.Profile, opts pipeline.Options) 
 	if err != nil {
 		return nil, 0, err
 	}
-	best := math.Inf(1)
-	var bestSched *pipeline.Schedule
+	orders := permutationsInWalkOrder(m)
+	// First pass: spans only. Schedules are rebuilt for the winner alone —
+	// materialising all |M|! of them would dwarf the search itself.
+	spans := make([]float64, len(orders))
+	err = parallel.ForErr(workers, len(orders), func(i int) error {
+		v, _, err := evalOrder(s, profiles, baseCuts, orders[i], opts)
+		if err != nil {
+			return err
+		}
+		spans[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	best, bestIdx := math.Inf(1), -1
+	for i, v := range spans {
+		if v < best {
+			best, bestIdx = v, i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0, errors.New("baseline: exhaustive search found no feasible ordering")
+	}
+	_, bestSched, err := evalOrder(s, profiles, baseCuts, orders[bestIdx], opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bestSched, time.Duration(best * float64(time.Second)), nil
+}
+
+// permutationsInWalkOrder enumerates every permutation of 0..m-1 in the
+// order the recursive swap walk visits them, so rank comparisons against
+// the sequential search line up index-for-index.
+func permutationsInWalkOrder(m int) [][]int {
+	var out [][]int
 	order := make([]int, m)
 	for i := range order {
 		order[i] = i
 	}
-	var walk func(depth int) error
-	walk = func(depth int) error {
+	var walk func(depth int)
+	walk = func(depth int) {
 		if depth == m {
-			v, sched, err := evalOrder(s, profiles, baseCuts, order, opts)
-			if err != nil {
-				return err
-			}
-			if v < best {
-				best = v
-				bestSched = sched
-			}
-			return nil
+			out = append(out, append([]int(nil), order...))
+			return
 		}
 		for i := depth; i < m; i++ {
 			order[depth], order[i] = order[i], order[depth]
-			if err := walk(depth + 1); err != nil {
-				return err
-			}
+			walk(depth + 1)
 			order[depth], order[i] = order[i], order[depth]
 		}
-		return nil
 	}
-	if err := walk(0); err != nil {
-		return nil, 0, err
-	}
-	return bestSched, time.Duration(best * float64(time.Second)), nil
+	walk(0)
+	return out
 }
 
 // AnnealConfig tunes SimulatedAnnealing.

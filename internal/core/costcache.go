@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// Cost-table memoization. Building a profile.Profile is the planner's
+// measurement phase — O(nK) roofline layer-cost evaluations per model — and
+// it is pure: the tables depend only on the (SoC, model) pair. The planner
+// therefore computes each model's tables once and shares the read-only
+// Profile across worker goroutines, across candidate orderings, and across
+// internal/stream planning windows. Batched requests participate naturally:
+// model.Batched mints a distinct name ("X×4"), so every batch size gets its
+// own entry.
+//
+// Lifecycle: the cache belongs to one Planner and is keyed by the SoC the
+// entries were measured on; if the planner's SoC description is swapped the
+// cache detects the mismatch and drops every entry (the invalidation rule —
+// stale tables would silently misprice every slice). InvalidateCache forces
+// the same reset after an in-place SoC mutation, which pointer identity
+// cannot see.
+
+// costCache memoizes per-(model, processor, batch) cost tables as whole
+// Profiles.
+type costCache struct {
+	mu      sync.RWMutex
+	soc     *soc.SoC
+	entries map[string]*profile.Profile
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+func newCostCache(s *soc.SoC) *costCache {
+	return &costCache{soc: s, entries: make(map[string]*profile.Profile)}
+}
+
+// cacheKey identifies a model cheaply. Name alone is not trusted — two
+// distinct models may share a name — so lookups verify structural equality
+// before counting a hit.
+func cacheKey(m *model.Model) string {
+	return m.Name + "/" + strconv.Itoa(m.NumLayers())
+}
+
+// sameModel reports whether two models are structurally identical — the
+// collision guard behind the name-based key. O(n) field compares, orders of
+// magnitude cheaper than re-measuring the tables.
+func sameModel(a, b *model.Model) bool {
+	if a == b {
+		return true
+	}
+	if a.Name != b.Name || a.InputBytes != b.InputBytes || len(a.Layers) != len(b.Layers) {
+		return false
+	}
+	for i := range a.Layers {
+		if a.Layers[i] != b.Layers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// profile returns the cached tables for m on s, measuring them on first use.
+// Safe for concurrent use; the returned Profile is shared and read-only.
+func (c *costCache) profile(s *soc.SoC, m *model.Model) (*profile.Profile, error) {
+	c.mu.RLock()
+	if c.soc == s {
+		if p, ok := c.entries[cacheKey(m)]; ok && sameModel(p.Model(), m) {
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return p, nil
+		}
+	}
+	c.mu.RUnlock()
+
+	c.misses.Add(1)
+	p, err := profile.New(s, m)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.soc != s {
+		// SoC changed since the cache was built: every entry is stale.
+		c.soc = s
+		c.entries = make(map[string]*profile.Profile)
+	}
+	key := cacheKey(m)
+	if prior, ok := c.entries[key]; ok && sameModel(prior.Model(), m) {
+		// A concurrent worker measured the same model first; keep its entry
+		// so every holder shares one Profile.
+		c.mu.Unlock()
+		return prior, nil
+	}
+	c.entries[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// stats returns the lifetime hit/miss counters.
+func (c *costCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// invalidate drops every entry (counters survive — they describe the
+// planner's lifetime, not one cache generation).
+func (c *costCache) invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[string]*profile.Profile)
+	c.mu.Unlock()
+}
+
+// Profile returns the planner's memoized cost tables for m, measuring them
+// on first use. Callers may hold the result across PlanModels calls; it is
+// immutable.
+func (pl *Planner) Profile(m *model.Model) (*profile.Profile, error) {
+	return pl.cache.profile(pl.soc, m)
+}
+
+// CacheStats returns the planner's lifetime cost-cache hit/miss counters
+// (misses count table constructions).
+func (pl *Planner) CacheStats() (hits, misses uint64) {
+	return pl.cache.stats()
+}
+
+// InvalidateCache drops every memoized cost table. Call it after mutating
+// the SoC description in place (frequency scaling, thermal capping
+// experiments); the next plan re-measures every model.
+func (pl *Planner) InvalidateCache() {
+	pl.cache.invalidate()
+}

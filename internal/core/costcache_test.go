@@ -1,0 +1,153 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// TestCostCacheHitMatchesColdCompute walks the zoo × presets × batch
+// cross-product: for every combination the cached tables must be deeply
+// identical to a cold profile.New, the second lookup must be a hit, and
+// hits must return the same shared Profile instance.
+func TestCostCacheHitMatchesColdCompute(t *testing.T) {
+	batches := []int{1, 4}
+	for _, s := range soc.AllPresets() {
+		pl, err := NewPlanner(s, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, name := range model.Names() {
+			for _, batch := range batches {
+				m := model.Batched(model.MustByName(name), batch)
+
+				cold, err := profile.New(s, m)
+				if err != nil {
+					t.Fatalf("%s/%s: cold profile: %v", s.Name, m.Name, err)
+				}
+				h0, m0 := pl.CacheStats()
+				first, err := pl.Profile(m)
+				if err != nil {
+					t.Fatalf("%s/%s: cached profile: %v", s.Name, m.Name, err)
+				}
+				h1, m1 := pl.CacheStats()
+				if h1 != h0 || m1 != m0+1 {
+					t.Fatalf("%s/%s: first lookup counted hits %d→%d misses %d→%d, want one miss",
+						s.Name, m.Name, h0, h1, m0, m1)
+				}
+				second, err := pl.Profile(m)
+				if err != nil {
+					t.Fatalf("%s/%s: second lookup: %v", s.Name, m.Name, err)
+				}
+				h2, m2 := pl.CacheStats()
+				if h2 != h1+1 || m2 != m1 {
+					t.Fatalf("%s/%s: second lookup counted hits %d→%d misses %d→%d, want one hit",
+						s.Name, m.Name, h1, h2, m1, m2)
+				}
+				if second != first {
+					t.Fatalf("%s/%s: hit returned a different Profile instance", s.Name, m.Name)
+				}
+				if !reflect.DeepEqual(first, cold) {
+					t.Fatalf("%s/%s: cached tables differ from cold compute", s.Name, m.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestCostCacheStructuralCollision: two different models sharing a cache
+// key (same name, same layer count) must never be served each other's
+// tables.
+func TestCostCacheStructuralCollision(t *testing.T) {
+	s := soc.Kirin990()
+	pl, err := NewPlanner(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := model.MustByName(model.SqueezeNet)
+	b := a.Clone()
+	for i := range b.Layers {
+		// Same name, same shape, drastically different compute cost — large
+		// enough that even memory-bound layers flip compute-bound.
+		b.Layers[i].FLOPs *= 1000
+	}
+	pa, err := pl.Profile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := pl.Profile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa == pb {
+		t.Fatal("structurally different models shared one cache entry")
+	}
+	n := a.NumLayers()
+	if pa.ExecTime(0, 0, n-1) == pb.ExecTime(0, 0, n-1) {
+		t.Fatal("collision returned identical exec times for different cost structures")
+	}
+	// And the colliding model must itself be served correct tables again.
+	cold, err := profile.New(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := pl.Profile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, cold) {
+		t.Fatal("post-collision lookup returned stale tables")
+	}
+}
+
+// TestCostCacheInvalidate: InvalidateCache forces re-measurement.
+func TestCostCacheInvalidate(t *testing.T) {
+	s := soc.Kirin990()
+	pl, err := NewPlanner(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.MustByName(model.ResNet50)
+	if _, err := pl.Profile(m); err != nil {
+		t.Fatal(err)
+	}
+	pl.InvalidateCache()
+	_, m0 := pl.CacheStats()
+	if _, err := pl.Profile(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, m1 := pl.CacheStats(); m1 != m0+1 {
+		t.Fatalf("lookup after invalidation counted %d misses, want %d", m1, m0+1)
+	}
+}
+
+// TestCostCacheSharedAcrossPlans: repeated PlanModels calls on one planner
+// hit the cache for every model after the first plan.
+func TestCostCacheSharedAcrossPlans(t *testing.T) {
+	s := soc.Kirin990()
+	pl, err := NewPlanner(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := mustModels(t, model.ResNet50, model.SqueezeNet, model.MobileNetV2)
+	if _, err := pl.PlanModels(models); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := pl.CacheStats()
+	if m0 != uint64(len(models)) {
+		t.Fatalf("first plan measured %d models, want %d", m0, len(models))
+	}
+	if _, err := pl.PlanModels(models); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := pl.CacheStats()
+	if m1 != m0 {
+		t.Fatalf("second plan re-measured models: misses %d → %d", m0, m1)
+	}
+	if h1 != h0+uint64(len(models)) {
+		t.Fatalf("second plan counted %d hits, want %d", h1-h0, len(models))
+	}
+}

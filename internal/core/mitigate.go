@@ -48,12 +48,17 @@ func Mitigate(classes []contention.Class, k int) []int {
 		if len(lows) == 0 {
 			return order
 		}
+		// The Eq. (10) cost matrix is built against the round's frozen class
+		// sequence, so the nearest-ℍ scans relocationCost repeats per cell
+		// are memoized once into neighbour tables (O(m) instead of
+		// O(|𝕃|·|ℋ|·m) position scans per round).
+		leftH, rightH := nearestHighTables(cls)
 		cost := make([][]float64, len(lows))
 		feasibleAny := false
 		for li, i := range lows {
 			cost[li] = make([]float64, len(conflicts))
 			for cj, j := range conflicts {
-				cost[li][cj] = relocationCost(cls, k, i, j)
+				cost[li][cj] = relocationCostTab(cls, k, i, j, leftH, rightH)
 				if !math.IsInf(cost[li][cj], 1) {
 					feasibleAny = true
 				}
@@ -166,18 +171,9 @@ func relocationCost(cls []contention.Class, k, i, j int) float64 {
 	if i < 0 || i >= len(cls) || j < 0 || j >= len(cls) {
 		return math.Inf(1)
 	}
-	if cls[i] != contention.Low || cls[j] != contention.High {
-		return math.Inf(1)
-	}
-	d := i - j
-	if d < 0 {
-		d = -d
-	}
-	if d < k {
-		return math.Inf(1)
-	}
-	// Would removing the 𝕃 at i create a new conflict there? Find the
-	// nearest ℍ on each side of i; removal shrinks their gap by one.
+	// Nearest ℍ on each side of i, scanned directly: this path runs after
+	// in-round relocations have mutated cls, when the memoized tables of
+	// the matrix-construction path would be stale.
 	left, right := -1, -1
 	for p := i - 1; p >= 0; p-- {
 		if cls[p] == contention.High {
@@ -191,6 +187,57 @@ func relocationCost(cls []contention.Class, k, i, j int) float64 {
 			break
 		}
 	}
+	return relocationCostWith(cls, k, i, j, left, right)
+}
+
+// nearestHighTables precomputes, for every position, the nearest ℍ strictly
+// left and strictly right (-1 when none) — the per-round memoization of the
+// scans relocationCost would repeat for every cost-matrix cell.
+func nearestHighTables(cls []contention.Class) (leftH, rightH []int) {
+	m := len(cls)
+	leftH = make([]int, m)
+	rightH = make([]int, m)
+	last := -1
+	for p := 0; p < m; p++ {
+		leftH[p] = last
+		if cls[p] == contention.High {
+			last = p
+		}
+	}
+	last = -1
+	for p := m - 1; p >= 0; p-- {
+		rightH[p] = last
+		if cls[p] == contention.High {
+			last = p
+		}
+	}
+	return leftH, rightH
+}
+
+// relocationCostTab is relocationCost against precomputed neighbour tables
+// (valid only while cls is unchanged since nearestHighTables ran).
+func relocationCostTab(cls []contention.Class, k, i, j int, leftH, rightH []int) float64 {
+	if i < 0 || i >= len(cls) || j < 0 || j >= len(cls) {
+		return math.Inf(1)
+	}
+	return relocationCostWith(cls, k, i, j, leftH[i], rightH[i])
+}
+
+// relocationCostWith applies the Eq. (10) feasibility rules given the
+// nearest ℍ on each side of i.
+func relocationCostWith(cls []contention.Class, k, i, j, left, right int) float64 {
+	if cls[i] != contention.Low || cls[j] != contention.High {
+		return math.Inf(1)
+	}
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if d < k {
+		return math.Inf(1)
+	}
+	// Would removing the 𝕃 at i create a new conflict there? Removal
+	// shrinks the flanking ℍ pair's gap by one.
 	if left >= 0 && right >= 0 && (right-left-1) < k {
 		return math.Inf(1)
 	}

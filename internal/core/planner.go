@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"time"
 
 	"hetero2pipe/internal/contention"
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/parallel"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
@@ -32,6 +35,15 @@ type Options struct {
 	// profiles — the "external profiling" the estimator exists to avoid,
 	// kept as a fallback for custom SoCs without a trained model.
 	Estimator *contention.Estimator
+	// Parallelism bounds the planner's worker pool: per-model partition
+	// DPs, candidate-ordering passes, tail-search variants and
+	// work-stealing windows fan out across at most this many goroutines.
+	// 1 runs strictly sequentially on the caller's goroutine; values ≤ 0
+	// auto-size to runtime.GOMAXPROCS(0). The setting is a pure throughput
+	// knob — results are merged in deterministic index order, so the chosen
+	// plan is byte-identical at every value (proven by the differential
+	// suite; see DESIGN.md §6).
+	Parallelism int
 }
 
 // DefaultOptions returns the full Hetero²Pipe configuration.
@@ -42,6 +54,7 @@ func DefaultOptions() Options {
 		WorkStealing:     true,
 		TailOptimization: true,
 		ExecOptions:      pipeline.DefaultOptions(),
+		Parallelism:      runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -54,10 +67,12 @@ func NoCTOptions() Options {
 	return o
 }
 
-// Planner plans multi-DNN pipelines for one SoC.
+// Planner plans multi-DNN pipelines for one SoC. It is safe for concurrent
+// use: all mutable state lives in the lock-guarded cost cache.
 type Planner struct {
-	soc  *soc.SoC
-	opts Options
+	soc   *soc.SoC
+	opts  Options
+	cache *costCache
 }
 
 // NewPlanner validates the SoC and returns a planner.
@@ -68,7 +83,12 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 	if opts.HighQuantile < 0 || opts.HighQuantile > 1 {
 		return nil, fmt.Errorf("core: high quantile %g outside [0,1]", opts.HighQuantile)
 	}
-	return &Planner{soc: s, opts: opts}, nil
+	return &Planner{soc: s, opts: opts, cache: newCostCache(s)}, nil
+}
+
+// workers resolves Options.Parallelism to a concrete pool size.
+func (pl *Planner) workers() int {
+	return parallel.Workers(pl.opts.Parallelism)
 }
 
 // Plan is the planner's result: the executable schedule plus the
@@ -95,12 +115,16 @@ type Plan struct {
 // (P3), and vertical alignment with tail optimisation (P2).
 func (pl *Planner) PlanModels(models []*model.Model) (*Plan, error) {
 	profiles := make([]*profile.Profile, len(models))
-	for i, m := range models {
-		p, err := profile.New(pl.soc, m)
+	err := parallel.ForErr(pl.workers(), len(models), func(i int) error {
+		p, err := pl.Profile(models[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s: %w", m.Name, err)
+			return fmt.Errorf("core: profiling %s: %w", models[i].Name, err)
 		}
 		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pl.PlanProfiles(profiles)
 }
@@ -114,16 +138,22 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 	}
 	k := pl.soc.NumProcessors()
 
-	// Step 1 — horizontal: Algorithm 1 per model, independently.
+	// Step 1 — horizontal: Algorithm 1 per model, independently. The DPs
+	// share nothing, so they fan out across the worker pool; each writes
+	// only its own index.
 	cuts := make([]pipeline.Cuts, m)
 	makespans := make([]float64, m)
-	for i, p := range profiles {
-		c, best, err := Partition(p)
+	err := parallel.ForErr(pl.workers(), m, func(i int) error {
+		c, best, err := Partition(profiles[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: partitioning %s: %w", p.Model().Name, err)
+			return fmt.Errorf("core: partitioning %s: %w", profiles[i].Model().Name, err)
 		}
 		cuts[i] = c
 		makespans[i] = best
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Contention intensities and H/L classes.
@@ -153,15 +183,29 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 		}
 	}
 
+	// Every candidate's vertical pass is independent (each works on its own
+	// cut copies); evaluate them across the pool and merge in candidate
+	// order — the first candidate achieving the minimal executed makespan
+	// wins, exactly as the sequential strict-improvement loop decides.
+	plans := make([]*Plan, len(candidates))
+	spans := make([]float64, len(candidates))
+	err = parallel.ForErr(pl.workers(), len(candidates), func(ci int) error {
+		plan, span, err := pl.verticalPass(profiles, cuts, classes, intensities, makespans, candidates[ci], k)
+		if err != nil {
+			return err
+		}
+		plans[ci] = plan
+		spans[ci] = span
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var bestPlan *Plan
 	var bestSpan float64
-	for _, order := range candidates {
-		plan, span, err := pl.verticalPass(profiles, cuts, classes, intensities, makespans, order, k)
-		if err != nil {
-			return nil, err
-		}
-		if bestPlan == nil || span < bestSpan {
-			bestPlan, bestSpan = plan, span
+	for ci, plan := range plans {
+		if bestPlan == nil || spans[ci] < bestSpan {
+			bestPlan, bestSpan = plan, spans[ci]
 		}
 	}
 	return bestPlan, nil
@@ -199,7 +243,7 @@ func (pl *Planner) verticalPass(profiles []*profile.Profile, cuts []pipeline.Cut
 			stolen[i] = make(pipeline.Cuts, len(ordCuts[i]))
 			copy(stolen[i], ordCuts[i])
 		}
-		WorkSteal(ordProfiles, stolen, k)
+		WorkStealParallel(ordProfiles, stolen, k, pl.workers())
 		keep, err := pl.betterCuts(ordProfiles, ordCuts, stolen)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: work stealing: %w", err)
@@ -214,7 +258,7 @@ func (pl *Planner) verticalPass(profiles []*profile.Profile, cuts []pipeline.Cut
 
 	// Step 2c — tail-bubble local search.
 	if pl.opts.TailOptimization {
-		sched, err = OptimizeTail(sched, pl.opts.ExecOptions)
+		sched, err = OptimizeTailParallel(sched, pl.opts.ExecOptions, pl.workers())
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: tail optimisation: %w", err)
 		}
@@ -275,6 +319,19 @@ func measuredIntensity(p *profile.Profile) float64 {
 // step to every candidate ordering so their search space strictly contains
 // the planner's.
 func OptimizeTail(sched *pipeline.Schedule, opts pipeline.Options) (*pipeline.Schedule, error) {
+	return OptimizeTailParallel(sched, opts, 1)
+}
+
+// OptimizeTailParallel is OptimizeTail over a worker pool: for each request
+// (still swept tail-first — the sweep itself is a dependent chain, each
+// request building on the incumbent schedule) the K single-processor
+// variants are evaluated concurrently and merged in processor order, so the
+// variant adopted is the one the sequential strict-improvement scan would
+// adopt: the lowest-numbered processor achieving the minimal makespan.
+// Variants for one request are independent because a variant differs from
+// the incumbent only in the request's own stage row, which each candidate
+// overwrites wholesale.
+func OptimizeTailParallel(sched *pipeline.Schedule, opts pipeline.Options, workers int) (*pipeline.Schedule, error) {
 	m := sched.NumRequests()
 	k := sched.NumStages()
 	if m == 0 {
@@ -286,20 +343,28 @@ func OptimizeTail(sched *pipeline.Schedule, opts pipeline.Options) (*pipeline.Sc
 	}
 	bestSched, bestSpan := sched, base.Makespan
 
+	cands := make([]*pipeline.Schedule, k)
+	spans := make([]time.Duration, k)
 	for i := m - 1; i >= 0; i-- {
 		n := sched.Profiles[i].NumLayers()
-		for proc := 0; proc < k; proc++ {
+		incumbent := bestSched
+		parallel.For(workers, k, func(proc int) {
+			cands[proc] = nil
 			if !sched.Profiles[i].Table(proc).Supported(0, n-1) {
-				continue
+				return
 			}
-			cand := bestSched.Clone()
+			cand := incumbent.Clone()
 			cand.Stages[i] = pipeline.SingleProcessor(n, proc, k).RangesOf()
 			res, err := pipeline.Execute(cand, opts)
 			if err != nil {
-				continue // infeasible variant; keep searching
+				return // infeasible variant; keep searching
 			}
-			if res.Makespan < bestSpan {
-				bestSched, bestSpan = cand, res.Makespan
+			cands[proc] = cand
+			spans[proc] = res.Makespan
+		})
+		for proc := 0; proc < k; proc++ {
+			if cands[proc] != nil && spans[proc] < bestSpan {
+				bestSched, bestSpan = cands[proc], spans[proc]
 			}
 		}
 	}

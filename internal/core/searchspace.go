@@ -1,6 +1,10 @@
 package core
 
-import "math/big"
+import (
+	"math/big"
+
+	"hetero2pipe/internal/parallel"
+)
 
 // Search-space accounting (paper Appendix A, Eq. 12–14). The paper counts
 // the feasible processor pipelines of a consumer SoC and the number of
@@ -105,10 +109,17 @@ func pipelinesWithStages(cBig, cSmall, p int) int64 {
 
 // TotalSearchSpace multiplies the per-model split choices over a request set
 // (Eq. 14): the exponential blow-up that motivates the two-step planner.
+// The per-model counts are independent big-integer computations, so they
+// fan out across the machine; the product is taken in index order (and is
+// commutative besides), so the result is exact and deterministic.
 func TotalSearchSpace(layerCounts []int, cBig, cSmall int) *big.Int {
+	perModel := make([]*big.Int, len(layerCounts))
+	parallel.For(0, len(layerCounts), func(i int) {
+		perModel[i] = SplitChoices(layerCounts[i], cBig, cSmall)
+	})
 	total := big.NewInt(1)
-	for _, n := range layerCounts {
-		total.Mul(total, SplitChoices(n, cBig, cSmall))
+	for _, c := range perModel {
+		total.Mul(total, c)
 	}
 	return total
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"hetero2pipe/internal/parallel"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 )
@@ -153,8 +154,21 @@ func CriticalIndex(profiles []*profile.Profile, cuts []pipeline.Cuts) int {
 // WorkSteal slides the contention window (size k, step k — Algorithm 3
 // line 15) over the whole ordered sequence and aligns each window.
 func WorkSteal(profiles []*profile.Profile, cuts []pipeline.Cuts, k int) {
+	WorkStealParallel(profiles, cuts, k, 1)
+}
+
+// WorkStealParallel is WorkSteal across a worker pool. The windows are
+// disjoint slices of the request sequence and each alignment writes only
+// its own window's cut vectors, so the windows are embarrassingly parallel
+// and the result is identical at every worker count.
+func WorkStealParallel(profiles []*profile.Profile, cuts []pipeline.Cuts, k, workers int) {
 	m := len(profiles)
-	for u := 0; u < m; u += k {
+	if m == 0 || k <= 0 {
+		return
+	}
+	windows := (m + k - 1) / k
+	parallel.For(workers, windows, func(w int) {
+		u := w * k
 		hi := u + k
 		if hi > m {
 			hi = m
@@ -162,5 +176,5 @@ func WorkSteal(profiles []*profile.Profile, cuts []pipeline.Cuts, k int) {
 		window := profiles[u:hi]
 		wCuts := cuts[u:hi]
 		AlignWindow(window, wCuts, CriticalIndex(window, wCuts))
-	}
+	})
 }

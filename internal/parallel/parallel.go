@@ -1,0 +1,109 @@
+// Package parallel provides the bounded, deterministic fan-out primitive the
+// planner and baselines share. The contract that keeps the parallel planner
+// byte-identical to the sequential one (DESIGN.md §6) lives here: work items
+// are indexed, every worker writes only to its item's slot, and callers merge
+// results in index order — never in completion order. Worker count is a pure
+// throughput knob; it can never change an outcome.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a parallelism setting: values ≤ 0 mean "auto", i.e.
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines
+// (workers ≤ 0 auto-sizes; workers == 1 runs inline on the caller's
+// goroutine, reproducing sequential execution exactly). Indices are claimed
+// in ascending order. fn must confine its writes to data owned by index i.
+// A panic in any fn is re-raised on the caller's goroutine after all workers
+// stop.
+func For(workers, n int, fn func(int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForErr is For with error-returning work. It returns the error of the
+// lowest failing index — the same error a sequential loop would surface —
+// regardless of completion order. Once an index fails, higher indices are
+// skipped (best-effort short-circuit); an index is only ever skipped when a
+// strictly lower index has failed, so the lowest failing index always runs
+// and the returned error is deterministic.
+func ForErr(workers, n int, fn func(int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var minFail atomic.Int64
+	minFail.Store(int64(n)) // sentinel: no failure yet
+	For(workers, n, func(i int) {
+		if int64(i) > minFail.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			for {
+				cur := minFail.Load()
+				if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+	})
+	if f := minFail.Load(); f < int64(n) {
+		return errs[f]
+	}
+	return nil
+}

@@ -52,6 +52,12 @@ type Result struct {
 	Makespan time.Duration
 	// Windows is the number of planning invocations.
 	Windows int
+	// CacheHits and CacheMisses are the planner cost-cache counters
+	// accumulated over this run: hits are cost tables reused from earlier
+	// windows (or earlier in the same window), misses are fresh
+	// measurements. A steady-state stream of recurring models converges to
+	// one miss per distinct (model, batch) and hits everywhere else.
+	CacheHits, CacheMisses uint64
 }
 
 // MeanSojourn returns the average request sojourn time.
@@ -117,6 +123,7 @@ func (s *Scheduler) Run(requests []Request, execOpts pipeline.Options) (*Result,
 			return nil, fmt.Errorf("stream: requests not sorted by arrival at %d", i)
 		}
 	}
+	hits0, misses0 := s.planner.CacheStats()
 	now := time.Duration(0)
 	next := 0
 	for next < n {
@@ -172,6 +179,8 @@ func (s *Scheduler) Run(requests []Request, execOpts pipeline.Options) (*Result,
 		next = end
 	}
 	res.Makespan = now
+	hits1, misses1 := s.planner.CacheStats()
+	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
 	return res, nil
 }
 

@@ -180,6 +180,83 @@ func TestPoissonArrivalsDeterministic(t *testing.T) {
 	}
 }
 
+// TestStreamCostCacheReuse: window N+1 must reuse window N's cost tables —
+// the planner measures each distinct (model, batch) once for the whole
+// stream and every later window is all hits.
+func TestStreamCostCacheReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxWindow = 2
+	cfg.MaxBatch = 1
+	s := newScheduler(t, cfg)
+	models, err := workload.Instantiate([]string{
+		model.ResNet50, model.SqueezeNet,
+		model.ResNet50, model.SqueezeNet,
+		model.ResNet50, model.SqueezeNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Request, len(models))
+	for i, m := range models {
+		reqs[i] = Request{Model: m}
+	}
+	res, err := s.Run(reqs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows < 2 {
+		t.Fatalf("windows = %d, want ≥ 2 for a reuse test", res.Windows)
+	}
+	// Two distinct models → exactly two measurements; every other lookup
+	// (4 across the later windows) is a hit.
+	if res.CacheMisses != 2 {
+		t.Errorf("cache misses = %d, want 2 (one per distinct model)", res.CacheMisses)
+	}
+	if res.CacheHits != uint64(len(models))-2 {
+		t.Errorf("cache hits = %d, want %d", res.CacheHits, len(models)-2)
+	}
+}
+
+// TestStreamParallelismInvariant: the whole online run — completions,
+// sojourns, window count — is identical whether the planner runs
+// sequentially or across a pool, because every window's plan is.
+func TestStreamParallelismInvariant(t *testing.T) {
+	names := []string{
+		model.ResNet50, model.SqueezeNet, model.BERT, model.MobileNetV2,
+		model.GoogLeNet, model.SqueezeNet, model.YOLOv4, model.AlexNet,
+	}
+	run := func(par int) *Result {
+		opts := core.DefaultOptions()
+		opts.Parallelism = par
+		pl, err := core.NewPlanner(soc.Kirin990(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheduler(pl, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(streamOf(t, 15*time.Millisecond, names...), pipeline.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, par := range []int{2, 8} {
+		got := run(par)
+		if got.Makespan != seq.Makespan || got.Windows != seq.Windows {
+			t.Fatalf("parallelism %d: makespan %v windows %d, sequential %v/%d",
+				par, got.Makespan, got.Windows, seq.Makespan, seq.Windows)
+		}
+		for i := range seq.Completions {
+			if got.Completions[i] != seq.Completions[i] {
+				t.Fatalf("parallelism %d: completion %d = %v, sequential %v",
+					par, i, got.Completions[i], seq.Completions[i])
+			}
+		}
+	}
+}
+
 // TestWindowedBeatsSerialQueueing: under bursty arrivals, the windowed
 // heterogeneous planner yields lower mean sojourn than serial big-CPU
 // processing of the same stream — the Fig. 2(a) story in the online
