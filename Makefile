@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race diff bench fuzz
+.PHONY: check build vet test race diff degrade bench fuzz fuzz-degrade
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff
+check: vet build race diff degrade
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -24,9 +25,20 @@ diff:
 	$(GO) test -race -count=1 -run 'TestDifferential|TestPlanDeterminismGolden|TestCostCache|TestStreamCostCacheReuse|TestStreamParallelismInvariant|TestExhaustiveParallelMatchesSequential' \
 		./internal/core/ ./internal/stream/ ./internal/baseline/
 
+## degrade: the degradation-runtime suite under the race detector — event
+## injection, partial cache invalidation, replan/retry/backoff and
+## cancellation paths across soc, stream and the facade.
+degrade:
+	$(GO) test -race -count=1 -run 'Degrad' ./internal/soc/ ./internal/stream/ .
+
 bench:
 	$(GO) test -bench . -benchmem -run xxx .
 
 ## fuzz: a short run of the parallel-vs-sequential differential fuzz target.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParallelPlannerDifferential -fuzztime 30s ./internal/core/
+
+## fuzz-degrade: short fuzz of the degradation-aware stream runtime, seeded
+## with a processor going offline mid-window.
+fuzz-degrade:
+	$(GO) test -run xxx -fuzz FuzzStreamDegradation -fuzztime 30s ./internal/stream/

@@ -6,14 +6,25 @@
 // Usage:
 //
 //	h2pipe -soc Kirin990 -models YOLOv4,BERT,SqueezeNet,ResNet50
+//
+// Online serving mode replays a Poisson arrival stream with per-window
+// planning, optionally under injected degradation events:
+//
+//	h2pipe -stream -gap 10ms -events offline:npu@40ms,throttle:gpu@10ms:1.8
+//
+// Ctrl-C cancels a run cleanly (the planner and executor are
+// context-aware); the partial state is discarded.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"hetero2pipe/internal/baseline"
 	"hetero2pipe/internal/core"
@@ -21,18 +32,21 @@ import (
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stream"
 	"hetero2pipe/internal/trace"
 	"hetero2pipe/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "h2pipe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("h2pipe", flag.ContinueOnError)
 	var (
 		socName    = fs.String("soc", "Kirin990", "SoC preset: Kirin990, Snapdragon778G, Snapdragon870")
@@ -47,6 +61,10 @@ func run(args []string) error {
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON file of the execution")
 		htmlOut    = fs.String("html", "", "write a standalone HTML report (SVG Gantt + metrics)")
 		compare    = fs.Bool("compare", false, "run every scheme (MNN, Pipe-it, Band, No-C/T, H²P) and print a comparison table")
+		streamMode = fs.Bool("stream", false, "online serving: Poisson arrivals with per-window planning")
+		eventsFlag = fs.String("events", "", "degradation events kind[:proc]@at[:factor], comma-separated (e.g. offline:npu@40ms,throttle:gpu@10ms:1.8); applied on the stream clock, or immediately without -stream")
+		gap        = fs.Duration("gap", 10*time.Millisecond, "mean inter-arrival gap in -stream mode")
+		window     = fs.Int("window", 8, "max requests per planning window in -stream mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +103,11 @@ func run(args []string) error {
 		return runComparison(s, models)
 	}
 
+	events, err := soc.ParseEvents(*eventsFlag)
+	if err != nil {
+		return err
+	}
+
 	opts := core.DefaultOptions()
 	opts.Mitigation = !*noMit
 	opts.WorkStealing = !*noSteal
@@ -93,11 +116,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := planner.PlanModels(models)
+	if *streamMode {
+		return runStream(ctx, planner, models, events, *gap, *window)
+	}
+	// Without -stream, events apply immediately (their timestamps are
+	// ignored): plan against the already-degraded SoC.
+	for _, ev := range events {
+		affected, err := s.Apply(ev)
+		if err != nil {
+			return err
+		}
+		planner.InvalidateProcessors(affected...)
+		fmt.Printf("applied %v\n", ev)
+	}
+	plan, err := planner.PlanModelsContext(ctx, models)
 	if err != nil {
 		return err
 	}
-	res, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	res, err := pipeline.ExecuteContext(ctx, plan.Schedule, pipeline.DefaultOptions())
 	if err != nil {
 		return err
 	}
@@ -178,6 +214,46 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote HTML report to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+// runStream replays the models as a Poisson arrival stream with per-window
+// planning and prints the online/degradation statistics.
+func runStream(ctx context.Context, planner *core.Planner, models []*model.Model, events []soc.Event, gap time.Duration, window int) error {
+	cfg := stream.DefaultConfig()
+	cfg.MaxWindow = window
+	cfg.Events = events
+	sched, err := stream.NewScheduler(planner, cfg)
+	if err != nil {
+		return err
+	}
+	requests := stream.PoissonArrivals(models, gap, 7)
+	res, err := sched.RunContext(ctx, requests, pipeline.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("online run: %d requests, mean gap %v\n", len(requests), gap)
+	fmt.Printf("makespan:           %8.2f ms\n", res.Makespan.Seconds()*1e3)
+	fmt.Printf("mean sojourn:       %8.2f ms  (p95 %.2f ms)\n",
+		res.MeanSojourn().Seconds()*1e3, res.P95Sojourn().Seconds()*1e3)
+	fmt.Printf("planning windows:   %8d\n", res.Windows)
+	fmt.Printf("cost cache:         %8d hits, %d misses\n", res.CacheHits, res.CacheMisses)
+	if len(events) > 0 {
+		fmt.Printf("events applied:     %8d\n", res.EventsApplied)
+		fmt.Printf("replans:            %8d  (%d requests requeued)\n", res.Replans, res.Retried)
+		fmt.Printf("plan retries:       %8d\n", res.PlanRetries)
+		fmt.Printf("deadline misses:    %8d\n", res.DeadlineMisses)
+		fmt.Println("\nwindows:")
+		for i, ws := range res.WindowStats {
+			mark := ""
+			if ws.Interrupted {
+				mark = "  ← interrupted"
+			}
+			fmt.Printf("  %2d. [%8.2fms %8.2fms] %d requests, %d done, %d requeued, %d events, %d retries%s\n",
+				i+1, ws.Start.Seconds()*1e3, ws.End.Seconds()*1e3,
+				ws.Requests, ws.Completed, ws.Requeued, ws.EventsApplied, ws.PlanRetries, mark)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,19 +12,19 @@ import (
 )
 
 func TestRunDefault(t *testing.T) {
-	if err := run([]string{"-models", "ResNet50,SqueezeNet", "-plan=false", "-gantt", "0"}); err != nil {
+	if err := run(context.Background(), []string{"-models", "ResNet50,SqueezeNet", "-plan=false", "-gantt", "0"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunListModels(t *testing.T) {
-	if err := run([]string{"-list-models"}); err != nil {
+	if err := run(context.Background(), []string{"-list-models"}); err != nil {
 		t.Fatalf("run -list-models: %v", err)
 	}
 }
 
 func TestRunCompare(t *testing.T) {
-	if err := run([]string{"-compare", "-models", "ResNet50,BERT"}); err != nil {
+	if err := run(context.Background(), []string{"-compare", "-models", "ResNet50,BERT"}); err != nil {
 		t.Fatalf("run -compare: %v", err)
 	}
 }
@@ -35,7 +36,7 @@ func TestRunErrors(t *testing.T) {
 		{"-soc-json", "/nonexistent/path.json"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v): nil error", args)
 		}
 	}
@@ -45,7 +46,7 @@ func TestRunArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.json")
 	htmlPath := filepath.Join(dir, "report.html")
-	err := run([]string{"-models", "ResNet50,SqueezeNet", "-plan=false", "-gantt", "0",
+	err := run(context.Background(), []string{"-models", "ResNet50,SqueezeNet", "-plan=false", "-gantt", "0",
 		"-trace", tracePath, "-html", htmlPath})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -79,7 +80,30 @@ func TestRunCustomSoCJSON(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-soc-json", path, "-models", "SqueezeNet", "-plan=false", "-gantt", "0"}); err != nil {
+	if err := run(context.Background(), []string{"-soc-json", path, "-models", "SqueezeNet", "-plan=false", "-gantt", "0"}); err != nil {
 		t.Fatalf("run with custom SoC: %v", err)
+	}
+}
+
+func TestRunStreamDegraded(t *testing.T) {
+	err := run(context.Background(), []string{"-stream",
+		"-models", "ResNet50,SqueezeNet,GoogLeNet",
+		"-gap", "2ms", "-events", "offline:npu@3ms,throttle:gpu@6ms:1.5"})
+	if err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+	if err := run(context.Background(), []string{"-stream", "-events", "bogus@spec"}); err == nil {
+		t.Error("malformed -events accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"-models", "ResNet50", "-plan=false", "-gantt", "0"}); err == nil {
+		t.Error("cancelled context did not abort the run")
+	}
+	if err := run(ctx, []string{"-stream", "-models", "ResNet50"}); err == nil {
+		t.Error("cancelled context did not abort the stream run")
 	}
 }

@@ -1,6 +1,7 @@
 package hetero2pipe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -17,59 +18,74 @@ import (
 // wrapping the internal packages. Power users can reach the full machinery
 // through the internal packages directly (this module is self-contained),
 // but System covers the common flows: plan a request set, execute it under
-// the co-execution slowdown model, run an online stream, export traces.
+// the co-execution slowdown model, run an online stream — with degradation
+// events, cancellation and per-window replanning — and export traces.
 
 // System couples one SoC with a configured planner.
 type System struct {
 	soc     *soc.SoC
 	planner *core.Planner
+	cfg     config
 }
-
-// Options re-exports the planner configuration. Options.Parallelism bounds
-// the planner's worker pool (1 = strictly sequential, ≤ 0 = auto-size to
-// GOMAXPROCS); the planned result is byte-identical at every setting — the
-// engine merges parallel work in deterministic index order — so it is purely
-// a planning-latency knob.
-type Options = core.Options
-
-// DefaultOptions returns the full Hetero²Pipe configuration.
-func DefaultOptions() Options { return core.DefaultOptions() }
 
 // NewSystem builds a System for a preset SoC name ("Kirin990",
 // "Snapdragon778G", "Snapdragon870", "Snapdragon8Gen2", "Dimensity9200").
-func NewSystem(preset string, opts Options) (*System, error) {
+// With no options it applies the full Hetero²Pipe defaults; pass
+// functional options (WithParallelism, WithDegradationEvents, ...) or a
+// legacy Options struct to customise.
+func NewSystem(preset string, opts ...Option) (*System, error) {
 	s := soc.PresetByName(preset)
 	if s == nil {
-		return nil, fmt.Errorf("hetero2pipe: unknown SoC preset %q", preset)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPreset, preset)
 	}
-	return NewSystemFor(s, opts)
+	return NewSystemFor(s, opts...)
 }
 
 // NewSystemFor builds a System for a custom SoC description.
-func NewSystemFor(s *soc.SoC, opts Options) (*System, error) {
+func NewSystemFor(s *soc.SoC, opts ...Option) (*System, error) {
 	if s == nil {
 		return nil, errors.New("hetero2pipe: nil SoC")
 	}
-	planner, err := core.NewPlanner(s, opts)
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	planner, err := core.NewPlanner(s, cfg.planner)
 	if err != nil {
 		return nil, err
 	}
-	return &System{soc: s, planner: planner}, nil
+	return &System{soc: s, planner: planner, cfg: cfg}, nil
 }
 
 // SoC returns the system's SoC description.
 func (sys *System) SoC() *soc.SoC { return sys.soc }
 
 // CacheStats returns the planner's lifetime cost-cache counters: hits are
-// per-(model, processor, batch) cost tables reused from an earlier plan or
-// planning window, misses are fresh measurements. Online streams of
-// recurring models converge to one miss per distinct model.
+// lookups that reused at least one memoized per-(model, processor, batch)
+// cost table, misses are lookups that measured at least one fresh table.
+// Online streams of recurring models converge to one miss per distinct
+// model; a degradation event adds one miss per model only for the affected
+// processors' tables.
 func (sys *System) CacheStats() (hits, misses uint64) { return sys.planner.CacheStats() }
 
 // InvalidateCache drops the planner's memoized cost tables. Required after
 // mutating the SoC description in place (e.g. frequency or thermal
-// experiments); the next plan re-measures every model.
+// experiments); the next plan re-measures every model. To invalidate only
+// the processors touched by a degradation event, use ApplyEvent instead.
 func (sys *System) InvalidateCache() { sys.planner.InvalidateCache() }
+
+// ApplyEvent applies one degradation event to the SoC immediately and
+// invalidates only the affected processors' cost tables. RunStream does
+// this automatically for configured events; ApplyEvent is the manual hook
+// for offline experiments.
+func (sys *System) ApplyEvent(ev Event) error {
+	affected, err := sys.soc.Apply(ev)
+	if err != nil {
+		return err
+	}
+	sys.planner.InvalidateProcessors(affected...)
+	return nil
+}
 
 // Models lists the built-in network names: the ten-model evaluation zoo
 // followed by the application extras.
@@ -95,27 +111,39 @@ type Result struct {
 
 // Run plans and executes the named models on the system.
 func (sys *System) Run(modelNames ...string) (*Result, error) {
+	return sys.RunContext(context.Background(), modelNames...)
+}
+
+// RunContext is Run under a cancellable context: cancellation aborts both
+// the planner (inside its partition DP and worker pools) and the executor,
+// returning an error wrapping ErrCancelled.
+func (sys *System) RunContext(ctx context.Context, modelNames ...string) (*Result, error) {
 	models := make([]*model.Model, len(modelNames))
 	for i, name := range modelNames {
 		m, err := model.ByName(name)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrUnknownModel, err)
 		}
 		models[i] = m
 	}
-	return sys.RunModels(models)
+	return sys.RunModelsContext(ctx, models)
 }
 
 // RunModels plans and executes explicit model descriptions (use
 // encoding/json into model.Model for custom networks).
 func (sys *System) RunModels(models []*model.Model) (*Result, error) {
-	plan, err := sys.planner.PlanModels(models)
+	return sys.RunModelsContext(context.Background(), models)
+}
+
+// RunModelsContext is RunModels under a cancellable context.
+func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) (*Result, error) {
+	plan, err := sys.planner.PlanModelsContext(ctx, models)
 	if err != nil {
-		return nil, err
+		return nil, wrapRunErr(err)
 	}
-	exec, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	exec, err := pipeline.ExecuteContext(ctx, plan.Schedule, pipeline.DefaultOptions())
 	if err != nil {
-		return nil, err
+		return nil, wrapRunErr(err)
 	}
 	return &Result{
 		Latency:         exec.Makespan,
@@ -132,18 +160,18 @@ func (sys *System) RunModels(models []*model.Model) (*Result, error) {
 func (sys *System) SerialBaseline(modelNames ...string) (time.Duration, error) {
 	bigs := sys.soc.ProcessorsOfKind(soc.KindCPUBig)
 	if len(bigs) == 0 {
-		return 0, errors.New("hetero2pipe: SoC has no big CPU cluster")
+		return 0, fmt.Errorf("%w: SoC has no big CPU cluster", ErrNoProcessor)
 	}
 	big := &sys.soc.Processors[bigs[0]]
 	var total time.Duration
 	for _, name := range modelNames {
 		m, err := model.ByName(name)
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("%w: %w", ErrUnknownModel, err)
 		}
 		lat := soc.BatchLatency(big, m, 1)
 		if lat == soc.InfDuration {
-			return 0, fmt.Errorf("hetero2pipe: %s cannot run on the big CPU", name)
+			return 0, fmt.Errorf("%w: %s cannot run on the big CPU", ErrNoProcessor, name)
 		}
 		total += lat
 	}
@@ -160,21 +188,76 @@ func (r *Result) Gantt(width int) string {
 	return trace.Gantt(r.Plan.Schedule, r.Execution, width)
 }
 
+// Event re-exports the degradation event type injected into online runs.
+type Event = soc.Event
+
+// EventKind re-exports the degradation event kind.
+type EventKind = soc.EventKind
+
+// Degradation event kinds, re-exported for facade callers.
+const (
+	EventThermalThrottle  = soc.EventThermalThrottle
+	EventFrequencyScale   = soc.EventFrequencyScale
+	EventProcessorOffline = soc.EventProcessorOffline
+	EventProcessorOnline  = soc.EventProcessorOnline
+	EventBandwidthSqueeze = soc.EventBandwidthSqueeze
+)
+
+// ParseEvents parses a comma-separated list of degradation event specs in
+// the grammar kind[:processor]@at[:factor], e.g.
+// "throttle:cpu-big@10ms:1.8,offline:npu@40ms,bus@20ms:0.6". Results are
+// sorted by time.
+func ParseEvents(csv string) ([]Event, error) {
+	return soc.ParseEvents(csv)
+}
+
 // StreamConfig re-exports the online scheduler configuration.
 type StreamConfig = stream.Config
 
 // StreamRequest re-exports the online request type.
 type StreamRequest = stream.Request
 
-// StreamResult re-exports the online run summary.
+// StreamResult re-exports the online run summary, including degradation
+// stats (replans, retried requests, deadline misses, per-window detail).
 type StreamResult = stream.Result
+
+// DefaultStreamConfig returns the default online configuration (window of
+// eight, batching on, a modest retry budget).
+func DefaultStreamConfig() StreamConfig { return stream.DefaultConfig() }
 
 // RunStream executes an arrival-ordered request stream with per-window
 // planning (the online deployment mode).
 func (sys *System) RunStream(requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
+	return sys.RunStreamContext(context.Background(), requests, cfg)
+}
+
+// RunStreamContext is RunStream under a cancellable context: cancellation
+// aborts within one planning window on the simulated clock and returns an
+// error wrapping ErrCancelled.
+//
+// Degradation events configured on the System (WithDegradationEvents)
+// apply when cfg carries no events of its own; cfg.Events, when set,
+// takes precedence for this run.
+func (sys *System) RunStreamContext(ctx context.Context, requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
+	if cfg.MaxWindow == 0 {
+		// Zero-value config: inherit the system-level stream settings
+		// (WithWindow, WithMaxBatch, WithDegradationEvents), keeping any
+		// events the caller did set.
+		events := cfg.Events
+		cfg = sys.cfg.stream
+		if events != nil {
+			cfg.Events = events
+		}
+	} else if cfg.Events == nil {
+		cfg.Events = sys.cfg.stream.Events
+	}
 	sched, err := stream.NewScheduler(sys.planner, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return sched.Run(requests, pipeline.DefaultOptions())
+	res, err := sched.RunContext(ctx, requests, pipeline.DefaultOptions())
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -103,12 +104,17 @@ func referenceProcessor(s *soc.SoC) *soc.Processor {
 // resulting group sequence. The returned groups parallel the plan's request
 // positions after the planner's own re-ordering is applied.
 func (pl *Planner) PlanBatched(requests []*model.Model, maxBatch int) (*Plan, []BatchGroup, error) {
+	return pl.PlanBatchedContext(context.Background(), requests, maxBatch)
+}
+
+// PlanBatchedContext is PlanBatched under a cancellable context.
+func (pl *Planner) PlanBatchedContext(ctx context.Context, requests []*model.Model, maxBatch int) (*Plan, []BatchGroup, error) {
 	groups := CoalesceLight(pl.soc, requests, maxBatch)
 	models := make([]*model.Model, len(groups))
 	for i, g := range groups {
 		models[i] = g.Model
 	}
-	plan, err := pl.PlanModels(models)
+	plan, err := pl.PlanModelsContext(ctx, models)
 	if err != nil {
 		return nil, nil, err
 	}

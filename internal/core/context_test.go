@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// TestPlanContextCancelled: a pre-cancelled context aborts every planning
+// entry point with an error wrapping context.Canceled, and a background
+// context leaves the plan identical to the context-free API.
+func TestPlanContextCancelled(t *testing.T) {
+	pl, err := NewPlanner(soc.Kirin990(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := mustModels(t, model.ResNet50, model.SqueezeNet)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := pl.PlanModelsContext(ctx, models); !errors.Is(err, context.Canceled) {
+		t.Errorf("PlanModelsContext error %v does not wrap context.Canceled", err)
+	}
+	if _, _, err := pl.PlanBatchedContext(ctx, models, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("PlanBatchedContext error %v does not wrap context.Canceled", err)
+	}
+	p, err := pl.Profile(models[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PartitionContext(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("PartitionContext error %v does not wrap context.Canceled", err)
+	}
+	if _, err := pl.PlanProfilesContext(ctx, []*profile.Profile{p}); !errors.Is(err, context.Canceled) {
+		t.Errorf("PlanProfilesContext error %v does not wrap context.Canceled", err)
+	}
+
+	// Sanity: the context-free wrappers still plan, and match the ctx form.
+	a, err := pl.PlanModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pl.PlanModelsContext(context.Background(), models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.NumRequests() != b.Schedule.NumRequests() {
+		t.Error("context and context-free plans diverge")
+	}
+}

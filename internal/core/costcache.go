@@ -19,25 +19,44 @@ import (
 // model.Batched mints a distinct name ("X×4"), so every batch size gets its
 // own entry.
 //
+// Entries are held at (model, processor) granularity so degradation events
+// invalidate partially: a thermal throttle or offline transition on one
+// processor stales only that processor's table in every entry, and the next
+// lookup re-measures the stale slot while sharing the other K−1 tables
+// (profile.FromTables). The whole-profile view is cached alongside so a
+// fully warm lookup still returns one shared immutable Profile instance.
+//
 // Lifecycle: the cache belongs to one Planner and is keyed by the SoC the
 // entries were measured on; if the planner's SoC description is swapped the
 // cache detects the mismatch and drops every entry (the invalidation rule —
 // stale tables would silently misprice every slice). InvalidateCache forces
 // the same reset after an in-place SoC mutation, which pointer identity
-// cannot see.
+// cannot see; InvalidateProcessors is the partial form degradation events
+// use.
 
-// costCache memoizes per-(model, processor, batch) cost tables as whole
-// Profiles.
+// cacheEntry holds one model's memoized state: the per-processor tables
+// (nil slots were invalidated and need re-measurement) and, when every slot
+// is present, the assembled Profile shared with every holder.
+type cacheEntry struct {
+	// model is the structural identity the tables were measured for — the
+	// collision guard behind the name-based key.
+	model  *model.Model
+	tables []*profile.Table
+	// assembled is the whole-profile view; nil whenever any table slot is.
+	assembled *profile.Profile
+}
+
+// costCache memoizes per-(model, processor, batch) cost tables.
 type costCache struct {
 	mu      sync.RWMutex
 	soc     *soc.SoC
-	entries map[string]*profile.Profile
+	entries map[string]*cacheEntry
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 }
 
 func newCostCache(s *soc.SoC) *costCache {
-	return &costCache{soc: s, entries: make(map[string]*profile.Profile)}
+	return &costCache{soc: s, entries: make(map[string]*cacheEntry)}
 }
 
 // cacheKey identifies a model cheaply. Name alone is not trusted — two
@@ -65,21 +84,42 @@ func sameModel(a, b *model.Model) bool {
 	return true
 }
 
-// profile returns the cached tables for m on s, measuring them on first use.
-// Safe for concurrent use; the returned Profile is shared and read-only.
+// profile returns the cached tables for m on s, measuring stale or missing
+// slots on first use. Safe for concurrent use; the returned Profile is
+// shared and read-only.
+//
+// Counter semantics: a lookup counts one hit when it reuses at least one
+// cached table and one miss when it measures at least one, so a fully warm
+// lookup is one hit, a cold one is one miss, and a partially invalidated
+// one is both — the hit records exactly the satellite fact that the
+// unaffected (model, processor) tables survived the event.
 func (c *costCache) profile(s *soc.SoC, m *model.Model) (*profile.Profile, error) {
+	key := cacheKey(m)
 	c.mu.RLock()
+	var reuse []*profile.Table
 	if c.soc == s {
-		if p, ok := c.entries[cacheKey(m)]; ok && sameModel(p.Model(), m) {
-			c.mu.RUnlock()
-			c.hits.Add(1)
-			return p, nil
+		if e, ok := c.entries[key]; ok && sameModel(e.model, m) {
+			if e.assembled != nil {
+				c.mu.RUnlock()
+				c.hits.Add(1)
+				return e.assembled, nil
+			}
+			reuse = append([]*profile.Table(nil), e.tables...)
 		}
 	}
 	c.mu.RUnlock()
 
+	reused := 0
+	for _, t := range reuse {
+		if t != nil {
+			reused++
+		}
+	}
+	if reused > 0 {
+		c.hits.Add(1)
+	}
 	c.misses.Add(1)
-	p, err := profile.New(s, m)
+	p, err := profile.FromTables(s, m, reuse)
 	if err != nil {
 		return nil, err
 	}
@@ -87,16 +127,19 @@ func (c *costCache) profile(s *soc.SoC, m *model.Model) (*profile.Profile, error
 	if c.soc != s {
 		// SoC changed since the cache was built: every entry is stale.
 		c.soc = s
-		c.entries = make(map[string]*profile.Profile)
+		c.entries = make(map[string]*cacheEntry)
 	}
-	key := cacheKey(m)
-	if prior, ok := c.entries[key]; ok && sameModel(prior.Model(), m) {
-		// A concurrent worker measured the same model first; keep its entry
+	if prior, ok := c.entries[key]; ok && sameModel(prior.model, m) && prior.assembled != nil {
+		// A concurrent worker assembled the same model first; keep its entry
 		// so every holder shares one Profile.
 		c.mu.Unlock()
-		return prior, nil
+		return prior.assembled, nil
 	}
-	c.entries[key] = p
+	tables := make([]*profile.Table, p.NumProcessors())
+	for k := range tables {
+		tables[k] = p.Table(k)
+	}
+	c.entries[key] = &cacheEntry{model: m, tables: tables, assembled: p}
 	c.mu.Unlock()
 	return p, nil
 }
@@ -110,7 +153,30 @@ func (c *costCache) stats() (hits, misses uint64) {
 // planner's lifetime, not one cache generation).
 func (c *costCache) invalidate() {
 	c.mu.Lock()
-	c.entries = make(map[string]*profile.Profile)
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+}
+
+// invalidateProcessors drops only the named processors' tables from every
+// entry — the partial invalidation a degradation event triggers. Tables of
+// unaffected (model, processor) pairs stay cached and keep producing hits.
+func (c *costCache) invalidateProcessors(procs []int) {
+	if len(procs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, e := range c.entries {
+		dropped := false
+		for _, k := range procs {
+			if k >= 0 && k < len(e.tables) && e.tables[k] != nil {
+				e.tables[k] = nil
+				dropped = true
+			}
+		}
+		if dropped {
+			e.assembled = nil
+		}
+	}
 	c.mu.Unlock()
 }
 
@@ -121,8 +187,11 @@ func (pl *Planner) Profile(m *model.Model) (*profile.Profile, error) {
 	return pl.cache.profile(pl.soc, m)
 }
 
-// CacheStats returns the planner's lifetime cost-cache hit/miss counters
-// (misses count table constructions).
+// CacheStats returns the planner's lifetime cost-cache hit/miss counters: a
+// lookup counts a hit when it reuses at least one cached (model, processor)
+// table and a miss when it measures at least one, so a warm lookup is one
+// hit, a cold one is one miss, and a lookup after a partial invalidation is
+// both.
 func (pl *Planner) CacheStats() (hits, misses uint64) {
 	return pl.cache.stats()
 }
@@ -133,3 +202,16 @@ func (pl *Planner) CacheStats() (hits, misses uint64) {
 func (pl *Planner) InvalidateCache() {
 	pl.cache.invalidate()
 }
+
+// InvalidateProcessors drops only the named processors' memoized tables —
+// the partial invalidation matching a degradation event's affected set
+// (soc.SoC.Apply returns it). Unaffected (model, processor) tables stay
+// cached; the next lookup re-measures the stale slots and shares the rest.
+func (pl *Planner) InvalidateProcessors(procs ...int) {
+	pl.cache.invalidateProcessors(procs)
+}
+
+// SoC returns the SoC the planner plans for — the object degradation
+// events mutate in place (followed by InvalidateProcessors on the affected
+// set).
+func (pl *Planner) SoC() *soc.SoC { return pl.soc }

@@ -124,6 +124,93 @@ func TestCostCacheInvalidate(t *testing.T) {
 	}
 }
 
+// TestCostCachePartialInvalidation: after a throttle event on one
+// processor, only that processor's tables are re-measured — cached cost
+// tables for unaffected (model, processor) pairs survive, report hits via
+// CacheStats, and are shared by pointer with the rebuilt profiles, while
+// the throttled processor's slice times reflect the event.
+func TestCostCachePartialInvalidation(t *testing.T) {
+	s := soc.Kirin990()
+	pl, err := NewPlanner(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := mustModels(t, model.ResNet50, model.SqueezeNet, model.MobileNetV2)
+	warm := make([]*profile.Profile, len(models))
+	for i, m := range models {
+		if warm[i], err = pl.Profile(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h0, m0 := pl.CacheStats()
+
+	// Throttle the GPU 2× and invalidate exactly the affected set.
+	affected, err := s.Apply(soc.Event{Kind: soc.EventThermalThrottle, Processor: "gpu", Factor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 {
+		t.Fatalf("throttle affected %v, want one processor", affected)
+	}
+	gpu := affected[0]
+	pl.InvalidateProcessors(affected...)
+
+	for i, m := range models {
+		fresh, err := pl.Profile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh == warm[i] {
+			t.Fatalf("%s: invalidated profile instance reused", m.Name)
+		}
+		n := m.NumLayers()
+		for k := 0; k < fresh.NumProcessors(); k++ {
+			if k == gpu {
+				if fresh.Table(k) == warm[i].Table(k) {
+					t.Errorf("%s: throttled processor %d table not re-measured", m.Name, k)
+				}
+				old, now := warm[i].ExecTime(k, 0, n-1), fresh.ExecTime(k, 0, n-1)
+				if now <= old {
+					t.Errorf("%s: throttled exec time %v not above nominal %v", m.Name, now, old)
+				}
+				continue
+			}
+			// Unaffected pair: the very same table instance survives.
+			if fresh.Table(k) != warm[i].Table(k) {
+				t.Errorf("%s: unaffected processor %d table re-measured", m.Name, k)
+			}
+		}
+	}
+	h1, m1 := pl.CacheStats()
+	if hits := h1 - h0; hits != uint64(len(models)) {
+		t.Errorf("post-event lookups counted %d hits, want %d (unaffected tables reused)", hits, len(models))
+	}
+	if misses := m1 - m0; misses != uint64(len(models)) {
+		t.Errorf("post-event lookups counted %d misses, want %d (one stale table each)", misses, len(models))
+	}
+
+	// Fully warm again: pure hits, same instances.
+	for _, m := range models {
+		if _, err := pl.Profile(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, m2 := pl.CacheStats()
+	if h2 != h1+uint64(len(models)) || m2 != m1 {
+		t.Errorf("re-warmed lookups: hits %d→%d misses %d→%d, want pure hits", h1, h2, m1, m2)
+	}
+
+	// Invalidating an already-stale or out-of-range index is a no-op.
+	pl.InvalidateProcessors()
+	pl.InvalidateProcessors(-1, 99)
+	if _, err := pl.Profile(models[0]); err != nil {
+		t.Fatal(err)
+	}
+	if h3, m3 := pl.CacheStats(); h3 != h2+1 || m3 != m2 {
+		t.Errorf("no-op invalidation caused re-measurement: hits %d→%d misses %d→%d", h2, h3, m2, m3)
+	}
+}
+
 // TestCostCacheSharedAcrossPlans: repeated PlanModels calls on one planner
 // hit the cache for every model after the first plan.
 func TestCostCacheSharedAcrossPlans(t *testing.T) {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,7 +57,14 @@ func sliceSeconds(p *profile.Profile, k, i, j int) float64 {
 //
 // It returns the boundary vector and the bottleneck stage time in seconds.
 func Partition(p *profile.Profile) (pipeline.Cuts, float64, error) {
-	choice, best, err := partitionTable(p, false)
+	return PartitionContext(context.Background(), p)
+}
+
+// PartitionContext is Partition under a cancellable context: the DP checks
+// for cancellation between cell rows, so a long chain aborts promptly
+// without finishing its table.
+func PartitionContext(ctx context.Context, p *profile.Profile) (pipeline.Cuts, float64, error) {
+	choice, best, err := partitionTable(ctx, p, false)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -69,16 +77,21 @@ func Partition(p *profile.Profile) (pipeline.Cuts, float64, error) {
 // exact when Property 2 holds for the combined exec+copy cost and within a
 // fraction of a percent of optimal otherwise.
 func PartitionFast(p *profile.Profile) (pipeline.Cuts, float64, error) {
-	choice, best, err := partitionTable(p, true)
+	choice, best, err := partitionTable(context.Background(), p, true)
 	if err != nil {
 		return nil, 0, err
 	}
 	return backtrackCuts(p, choice, best)
 }
 
+// cancelCheckStride is how many DP cells are filled between cancellation
+// checks — frequent enough for sub-millisecond abort on big chains, sparse
+// enough to keep ctx.Err out of the inner-loop cost.
+const cancelCheckStride = 64
+
 // partitionTable fills the DP and returns the per-stage choice table and
 // the optimal bottleneck.
-func partitionTable(p *profile.Profile, fast bool) ([][]int, float64, error) {
+func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int, float64, error) {
 	n := p.NumLayers()
 	k := p.NumProcessors()
 	if n == 0 || k == 0 {
@@ -107,6 +120,9 @@ func partitionTable(p *profile.Profile, fast bool) ([][]int, float64, error) {
 		dp[0] = prev[0] // empty prefix stays empty
 		choice[stage][0] = 0
 		for j := 0; j < n; j++ {
+			if j%cancelCheckStride == 0 && ctx.Err() != nil {
+				return nil, 0, cancelErr(ctx)
+			}
 			var bestI int
 			var bestV float64
 			if fast {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -110,12 +111,28 @@ type Plan struct {
 	HorizontalMakespans []float64
 }
 
+// cancelErr wraps a context's termination cause so callers can match both
+// the core layer and the underlying context sentinel with errors.Is.
+func cancelErr(ctx context.Context) error {
+	return fmt.Errorf("core: planning cancelled: %w", ctx.Err())
+}
+
 // PlanModels profiles the requests and runs the two-step optimisation:
 // horizontal DP partitioning per model (P1), contention-aware re-ordering
 // (P3), and vertical alignment with tail optimisation (P2).
 func (pl *Planner) PlanModels(models []*model.Model) (*Plan, error) {
+	return pl.PlanModelsContext(context.Background(), models)
+}
+
+// PlanModelsContext is PlanModels under a cancellable context: cancellation
+// is observed inside the profiling fan-out, the per-model partition DPs and
+// every worker-pool loop, and surfaces as an error wrapping ctx.Err().
+func (pl *Planner) PlanModelsContext(ctx context.Context, models []*model.Model) (*Plan, error) {
 	profiles := make([]*profile.Profile, len(models))
 	err := parallel.ForErr(pl.workers(), len(models), func(i int) error {
+		if ctx.Err() != nil {
+			return cancelErr(ctx)
+		}
 		p, err := pl.Profile(models[i])
 		if err != nil {
 			return fmt.Errorf("core: profiling %s: %w", models[i].Name, err)
@@ -126,12 +143,17 @@ func (pl *Planner) PlanModels(models []*model.Model) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pl.PlanProfiles(profiles)
+	return pl.PlanProfilesContext(ctx, profiles)
 }
 
 // PlanProfiles is PlanModels for pre-built profiles (the planner never
 // re-profiles, matching the paper's measure-once workflow).
 func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
+	return pl.PlanProfilesContext(context.Background(), profiles)
+}
+
+// PlanProfilesContext is PlanProfiles under a cancellable context.
+func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.Profile) (*Plan, error) {
 	m := len(profiles)
 	if m == 0 {
 		return &Plan{Schedule: &pipeline.Schedule{SoC: pl.soc}}, nil
@@ -144,7 +166,7 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 	cuts := make([]pipeline.Cuts, m)
 	makespans := make([]float64, m)
 	err := parallel.ForErr(pl.workers(), m, func(i int) error {
-		c, best, err := Partition(profiles[i])
+		c, best, err := PartitionContext(ctx, profiles[i])
 		if err != nil {
 			return fmt.Errorf("core: partitioning %s: %w", profiles[i].Model().Name, err)
 		}
@@ -190,7 +212,10 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 	plans := make([]*Plan, len(candidates))
 	spans := make([]float64, len(candidates))
 	err = parallel.ForErr(pl.workers(), len(candidates), func(ci int) error {
-		plan, span, err := pl.verticalPass(profiles, cuts, classes, intensities, makespans, candidates[ci], k)
+		if ctx.Err() != nil {
+			return cancelErr(ctx)
+		}
+		plan, span, err := pl.verticalPass(ctx, profiles, cuts, classes, intensities, makespans, candidates[ci], k)
 		if err != nil {
 			return err
 		}
@@ -214,7 +239,7 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 // verticalPass runs steps 2b (guarded work stealing) and 2c (tail local
 // search) for one candidate ordering and returns the plan plus its executed
 // makespan in seconds.
-func (pl *Planner) verticalPass(profiles []*profile.Profile, cuts []pipeline.Cuts,
+func (pl *Planner) verticalPass(ctx context.Context, profiles []*profile.Profile, cuts []pipeline.Cuts,
 	classes []contention.Class, intensities, makespans []float64,
 	order []int, k int) (*Plan, float64, error) {
 	m := len(order)
@@ -258,7 +283,7 @@ func (pl *Planner) verticalPass(profiles []*profile.Profile, cuts []pipeline.Cut
 
 	// Step 2c — tail-bubble local search.
 	if pl.opts.TailOptimization {
-		sched, err = OptimizeTailParallel(sched, pl.opts.ExecOptions, pl.workers())
+		sched, err = OptimizeTailContext(ctx, sched, pl.opts.ExecOptions, pl.workers())
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: tail optimisation: %w", err)
 		}
@@ -322,16 +347,22 @@ func OptimizeTail(sched *pipeline.Schedule, opts pipeline.Options) (*pipeline.Sc
 	return OptimizeTailParallel(sched, opts, 1)
 }
 
-// OptimizeTailParallel is OptimizeTail over a worker pool: for each request
-// (still swept tail-first — the sweep itself is a dependent chain, each
-// request building on the incumbent schedule) the K single-processor
-// variants are evaluated concurrently and merged in processor order, so the
-// variant adopted is the one the sequential strict-improvement scan would
-// adopt: the lowest-numbered processor achieving the minimal makespan.
-// Variants for one request are independent because a variant differs from
-// the incumbent only in the request's own stage row, which each candidate
-// overwrites wholesale.
+// OptimizeTailParallel is OptimizeTail over a worker pool; see
+// OptimizeTailContext for the cancellable form it wraps.
 func OptimizeTailParallel(sched *pipeline.Schedule, opts pipeline.Options, workers int) (*pipeline.Schedule, error) {
+	return OptimizeTailContext(context.Background(), sched, opts, workers)
+}
+
+// OptimizeTailContext runs the tail search over a worker pool under a
+// cancellable context: for each request (still swept tail-first — the sweep
+// itself is a dependent chain, each request building on the incumbent
+// schedule) the K single-processor variants are evaluated concurrently and
+// merged in processor order, so the variant adopted is the one the
+// sequential strict-improvement scan would adopt: the lowest-numbered
+// processor achieving the minimal makespan. Variants for one request are
+// independent because a variant differs from the incumbent only in the
+// request's own stage row, which each candidate overwrites wholesale.
+func OptimizeTailContext(ctx context.Context, sched *pipeline.Schedule, opts pipeline.Options, workers int) (*pipeline.Schedule, error) {
 	m := sched.NumRequests()
 	k := sched.NumStages()
 	if m == 0 {
@@ -346,6 +377,9 @@ func OptimizeTailParallel(sched *pipeline.Schedule, opts pipeline.Options, worke
 	cands := make([]*pipeline.Schedule, k)
 	spans := make([]time.Duration, k)
 	for i := m - 1; i >= 0; i-- {
+		if ctx.Err() != nil {
+			return nil, cancelErr(ctx)
+		}
 		n := sched.Profiles[i].NumLayers()
 		incumbent := bestSched
 		parallel.For(workers, k, func(proc int) {

@@ -1,0 +1,42 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// TestExecuteContextCancelled: a cancelled context aborts the executor at
+// the next virtual-clock advance with an error wrapping context.Canceled; a
+// live context reproduces Execute exactly.
+func TestExecuteContextCancelled(t *testing.T) {
+	s := soc.Kirin990()
+	p, err := profile.New(s, model.MustByName(model.ResNet50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := FromCuts(s, []*profile.Profile{p}, []Cuts{SingleProcessor(p.NumLayers(), 1, s.NumProcessors())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(ctx, sched, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecuteContext error %v does not wrap context.Canceled", err)
+	}
+	plain, err := Execute(sched, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := ExecuteContext(context.Background(), sched, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != live.Makespan {
+		t.Errorf("context and context-free executions diverge: %v vs %v", plain.Makespan, live.Makespan)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -111,6 +112,13 @@ type execState struct {
 // co-running set changes, so the T^co term of Eq. (2) emerges from overlap
 // rather than being a static additive guess.
 func Execute(s *Schedule, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), s, opts)
+}
+
+// ExecuteContext is Execute under a cancellable context: cancellation is
+// checked at every virtual-clock advance, so a run aborts between slice
+// completions and returns an error wrapping ctx.Err().
+func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -258,12 +266,15 @@ func Execute(s *Schedule, opts Options) (*Result, error) {
 				others = append(others, o.fp)
 			}
 		}
-		return contention.Slowdown(s.SoC.BusBandwidthGBps, es.fp, others)
+		return contention.Slowdown(s.SoC.EffectiveBusBandwidthGBps(), es.fp, others)
 	}
 
 	tryStart()
 
 	for len(running) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: execution cancelled: %w", err)
+		}
 		// Earliest completion under current dilation factors.
 		best := -1
 		bestDt := math.Inf(1)

@@ -84,11 +84,25 @@ type Profile struct {
 // profile. The construction cost is O(nK) layer-time evaluations — the
 // "manageable profiling efforts" the paper's solo-execution proxy buys.
 func New(s *soc.SoC, m *model.Model) (*Profile, error) {
+	return FromTables(s, m, nil)
+}
+
+// FromTables assembles a Profile from per-processor cost tables, measuring
+// any nil slot afresh. reuse may be nil (measure everything — this is New)
+// or one entry per processor; reused tables must have been measured for the
+// same (SoC, model) pair, which is the caller's contract (the planner's
+// cost cache upholds it structurally). This is the primitive behind partial
+// cache invalidation: after a degradation event stales one processor's
+// tables, only that slot is re-measured and the other K−1 are shared.
+func FromTables(s *soc.SoC, m *model.Model, reuse []*Table) (*Profile, error) {
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if reuse != nil && len(reuse) != s.NumProcessors() {
+		return nil, fmt.Errorf("profile: %d reusable tables for %d processors", len(reuse), s.NumProcessors())
 	}
 	n := m.NumLayers()
 	p := &Profile{
@@ -108,27 +122,37 @@ func New(s *soc.SoC, m *model.Model) (*Profile, error) {
 	}
 	p.actMax = newSparseMax(acts)
 	for k := range s.Processors {
-		proc := &s.Processors[k]
-		t := &Table{
-			proc:        proc,
-			timePrefix:  make([]time.Duration, n+1),
-			busPrefix:   make([]float64, n+1),
-			unsupPrefix: make([]int, n+1),
+		if reuse != nil && reuse[k] != nil {
+			p.tables[k] = reuse[k]
+			continue
 		}
-		for i, l := range m.Layers {
-			lt := proc.LayerTime(l)
-			unsup := 0
-			if lt == soc.InfDuration {
-				lt = 0
-				unsup = 1
-			}
-			t.timePrefix[i+1] = t.timePrefix[i] + lt
-			t.busPrefix[i+1] = t.busPrefix[i] + proc.BusTrafficBytes(l)
-			t.unsupPrefix[i+1] = t.unsupPrefix[i] + unsup
-		}
-		p.tables[k] = t
+		p.tables[k] = measureTable(&s.Processors[k], m)
 	}
 	return p, nil
+}
+
+// measureTable builds the cost table of one model on one processor — the
+// O(n) measurement unit the cost cache memoizes and invalidates.
+func measureTable(proc *soc.Processor, m *model.Model) *Table {
+	n := m.NumLayers()
+	t := &Table{
+		proc:        proc,
+		timePrefix:  make([]time.Duration, n+1),
+		busPrefix:   make([]float64, n+1),
+		unsupPrefix: make([]int, n+1),
+	}
+	for i, l := range m.Layers {
+		lt := proc.LayerTime(l)
+		unsup := 0
+		if lt == soc.InfDuration {
+			lt = 0
+			unsup = 1
+		}
+		t.timePrefix[i+1] = t.timePrefix[i] + lt
+		t.busPrefix[i+1] = t.busPrefix[i] + proc.BusTrafficBytes(l)
+		t.unsupPrefix[i+1] = t.unsupPrefix[i] + unsup
+	}
+	return t
 }
 
 // SoC returns the profiled SoC.

@@ -90,7 +90,13 @@ type Processor struct {
 	// Power describes the unit's busy/idle draw for energy accounting; a
 	// zero value falls back to the class default (see PowerOf).
 	Power Power
+	// Degrade is the runtime derating state written by degradation events
+	// (see Event); the zero value is nominal operation.
+	Degrade Degradation
 }
+
+// Available reports whether the processor is currently in service.
+func (p *Processor) Available() bool { return !p.Degrade.Offline }
 
 // Supports reports whether the processor can execute the operator kind. Only
 // NPUs restrict operator coverage; everything runs on CPUs and GPUs.
@@ -121,9 +127,11 @@ func (p *Processor) efficiency(kind model.OpKind) float64 {
 // LayerTime returns +Inf when the processor cannot execute the layer's
 // operator, mirroring the "error is reported due to unsupported operators"
 // behaviour of Fig. 1; callers that want Band-style fallback must detect the
-// unsupported layers first.
+// unsupported layers first. An offline processor (degradation events)
+// likewise returns +Inf for every layer, so freshly measured cost tables
+// route all work to the surviving processors.
 func (p *Processor) LayerTime(l model.Layer) time.Duration {
-	if !p.Supports(l.Kind) {
+	if p.Degrade.Offline || !p.Supports(l.Kind) {
 		return InfDuration
 	}
 	eff := p.efficiency(l.Kind)
@@ -138,6 +146,7 @@ func (p *Processor) LayerTime(l model.Layer) time.Duration {
 		sec = memSec
 	}
 	sec *= p.Thermal.SteadyStateFactor()
+	sec *= p.Degrade.LatencyFactor()
 	return time.Duration(sec * float64(time.Second))
 }
 
@@ -182,6 +191,9 @@ func (p *Processor) Validate() error {
 		return fmt.Errorf("processor %q has non-positive bandwidth", p.ID)
 	case p.DedicatedMemPath < 0 || p.DedicatedMemPath > 1:
 		return fmt.Errorf("processor %q dedicated path %g outside [0,1]", p.ID, p.DedicatedMemPath)
+	}
+	if err := p.Degrade.Validate(); err != nil {
+		return fmt.Errorf("processor %q: %w", p.ID, err)
 	}
 	for kind, e := range p.Efficiency {
 		if e <= 0 || e > 1 {
@@ -231,6 +243,19 @@ type SoC struct {
 	// to high; Fig. 9's governor picks the lowest level whose bandwidth
 	// covers demand.
 	MemFreqLevelsMHz []int
+	// BusDerate is the runtime bus-capacity fraction in (0, 1] written by
+	// EventBandwidthSqueeze; 0 means nominal. It scales the co-execution
+	// slowdown model's capacity, never the solo cost tables.
+	BusDerate float64
+}
+
+// EffectiveBusBandwidthGBps returns the shared-bus capacity after any
+// runtime bandwidth squeeze.
+func (s *SoC) EffectiveBusBandwidthGBps() float64 {
+	if s.BusDerate > 0 {
+		return s.BusBandwidthGBps * s.BusDerate
+	}
+	return s.BusBandwidthGBps
 }
 
 // NumProcessors returns the processor count (the paper's K).
@@ -303,6 +328,9 @@ func (s *SoC) Validate() error {
 		if s.MemFreqLevelsMHz[i] <= s.MemFreqLevelsMHz[i-1] {
 			return fmt.Errorf("soc %q memory frequency levels not increasing", s.Name)
 		}
+	}
+	if s.BusDerate != 0 && (s.BusDerate <= 0 || s.BusDerate > 1) {
+		return fmt.Errorf("soc %q bus derate %g outside (0,1]", s.Name, s.BusDerate)
 	}
 	return nil
 }

@@ -1,0 +1,263 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/workload"
+)
+
+func burstRequests(t *testing.T, names ...string) []Request {
+	t.Helper()
+	models, err := workload.Instantiate(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Request, len(models))
+	for i, m := range models {
+		out[i] = Request{Model: m}
+	}
+	return out
+}
+
+func checkAllComplete(t *testing.T, reqs []Request, res *Result) {
+	t.Helper()
+	for i := range reqs {
+		if res.Completions[i] < reqs[i].Arrival || res.Completions[i] <= 0 {
+			t.Errorf("request %d completion %v inconsistent with arrival %v",
+				i, res.Completions[i], reqs[i].Arrival)
+		}
+		if res.Completions[i] > res.Makespan {
+			t.Errorf("request %d completes at %v after makespan %v",
+				i, res.Completions[i], res.Makespan)
+		}
+	}
+}
+
+// TestStreamDegradationOfflineReplan is the acceptance scenario: the NPU
+// goes offline strictly inside the first window's execution. The window
+// must be interrupted and replanned onto the surviving processors, every
+// request must still complete, and the result must report the replan.
+func TestStreamDegradationOfflineReplan(t *testing.T) {
+	names := []string{
+		model.ResNet50, model.GoogLeNet, model.BERT,
+		model.ResNet50, model.GoogLeNet, model.BERT,
+	}
+	// Baseline run (no events) to learn the first window's makespan.
+	base := newScheduler(t, DefaultConfig())
+	baseRes, err := base.Run(burstRequests(t, names...), pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if baseRes.Replans != 0 || baseRes.EventsApplied != 0 {
+		t.Fatalf("baseline reports degradation activity: %+v", baseRes)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Events = []soc.Event{
+		{Kind: soc.EventProcessorOffline, Processor: "npu", At: baseRes.WindowStats[0].End / 3},
+	}
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := burstRequests(t, names...)
+	res, err := s.Run(reqs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatalf("degraded run: %v", err)
+	}
+	checkAllComplete(t, reqs, res)
+	if res.Replans < 1 {
+		t.Errorf("expected at least one replan, got %d", res.Replans)
+	}
+	if res.Retried < 1 {
+		t.Errorf("expected requeued requests, got Retried=%d", res.Retried)
+	}
+	if res.EventsApplied != 1 {
+		t.Errorf("EventsApplied = %d, want 1", res.EventsApplied)
+	}
+	interrupted := 0
+	for _, ws := range res.WindowStats {
+		if ws.Interrupted {
+			interrupted++
+			if ws.Requeued < 1 {
+				t.Error("interrupted window requeued nothing")
+			}
+			if ws.End != cfg.Events[0].At {
+				t.Errorf("interrupted window ends at %v, want event time %v", ws.End, cfg.Events[0].At)
+			}
+		}
+	}
+	if interrupted != res.Replans {
+		t.Errorf("interrupted windows %d != Replans %d", interrupted, res.Replans)
+	}
+	if !pl.SoC().Processors[0].Degrade.Offline {
+		t.Error("npu not marked offline after the run")
+	}
+	// The degraded tail must be slower than the full-SoC baseline.
+	if res.Makespan <= baseRes.Makespan {
+		t.Errorf("degraded makespan %v not above baseline %v", res.Makespan, baseRes.Makespan)
+	}
+}
+
+// TestStreamDegradationPartialInvalidation: a throttle on one processor
+// between two identical bursts must re-measure only that processor's cost
+// tables — every lookup in the second burst still reports a cache hit for
+// the untouched tables.
+func TestStreamDegradationPartialInvalidation(t *testing.T) {
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{model.ResNet50, model.SqueezeNet, model.GoogLeNet}
+	cfg := Config{MaxWindow: 8, MaxBatch: 1}
+	warm, err := NewScheduler(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := warm.Run(burstRequests(t, names...), pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != uint64(len(names)) {
+		t.Fatalf("cold run misses = %d, want %d", res.CacheMisses, len(names))
+	}
+
+	cfg.Events = []soc.Event{{Kind: soc.EventThermalThrottle, Processor: "gpu", Factor: 2}}
+	hot, err := NewScheduler(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = hot.Run(burstRequests(t, names...), pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each model re-measures the throttled gpu table (a miss) while reusing
+	// the other processors' tables (a hit on the same lookup).
+	if res.CacheMisses != uint64(len(names)) {
+		t.Errorf("post-throttle misses = %d, want %d (gpu tables only)", res.CacheMisses, len(names))
+	}
+	if res.CacheHits != uint64(len(names)) {
+		t.Errorf("post-throttle hits = %d, want %d (unaffected tables reused)", res.CacheHits, len(names))
+	}
+
+	// A third identical burst is fully warm again.
+	cold, err := NewScheduler(pl, Config{MaxWindow: 8, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = cold.Run(burstRequests(t, names...), pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 0 || res.CacheHits != uint64(len(names)) {
+		t.Errorf("re-warmed run hits=%d misses=%d, want %d/0", res.CacheHits, res.CacheMisses, len(names))
+	}
+}
+
+// TestStreamDegradationRetryBackoff: every processor goes offline before
+// the burst, and comes back a few milliseconds later. Planning must fail,
+// back off on the virtual clock until the recovery events come due, then
+// complete the whole stream.
+func TestStreamDegradationRetryBackoff(t *testing.T) {
+	procs := []string{"npu", "cpu-big", "gpu", "cpu-small"}
+	var events []soc.Event
+	for _, p := range procs {
+		events = append(events, soc.Event{Kind: soc.EventProcessorOffline, Processor: p, At: 100 * time.Microsecond})
+		events = append(events, soc.Event{Kind: soc.EventProcessorOnline, Processor: p, At: 5 * time.Millisecond})
+	}
+	cfg := Config{MaxWindow: 8, MaxBatch: 1, MaxRetries: 8, RetryBackoff: 100 * time.Microsecond, Events: events}
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := burstRequests(t, model.ResNet50, model.SqueezeNet)
+	res, err := s.Run(reqs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatalf("run did not recover: %v", err)
+	}
+	checkAllComplete(t, reqs, res)
+	if res.PlanRetries < 1 {
+		t.Errorf("expected plan retries while the SoC was fully offline, got %d", res.PlanRetries)
+	}
+	if res.EventsApplied != len(events) {
+		t.Errorf("EventsApplied = %d, want %d", res.EventsApplied, len(events))
+	}
+	// Without the retry budget the same scenario must surface the
+	// infeasibility as an error.
+	pl2, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxRetries = 0
+	s2, err := NewScheduler(pl2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(burstRequests(t, model.ResNet50, model.SqueezeNet), pipeline.DefaultOptions()); !errors.Is(err, core.ErrInfeasiblePartition) {
+		t.Errorf("zero-retry run error %v does not wrap ErrInfeasiblePartition", err)
+	}
+}
+
+// TestStreamDegradationDeadlines: a throttle event stretches latencies so a
+// tight sojourn budget is missed; the miss is counted, not dropped.
+func TestStreamDegradationDeadlines(t *testing.T) {
+	base := newScheduler(t, Config{MaxWindow: 4, MaxBatch: 1})
+	reqs := burstRequests(t, model.ResNet50, model.GoogLeNet)
+	baseRes, err := base.Run(reqs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline halfway below the undegraded sojourn: met only if nothing
+	// slows down. Throttle everything 4× from the start.
+	var events []soc.Event
+	for _, p := range []string{"npu", "cpu-big", "gpu", "cpu-small"} {
+		events = append(events, soc.Event{Kind: soc.EventThermalThrottle, Processor: p, Factor: 4})
+	}
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(pl, Config{MaxWindow: 4, MaxBatch: 1, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := burstRequests(t, model.ResNet50, model.GoogLeNet)
+	for i := range degraded {
+		degraded[i].Deadline = baseRes.Sojourns[i] * 2
+	}
+	res, err := s.Run(degraded, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllComplete(t, degraded, res)
+	if res.DeadlineMisses < 1 {
+		t.Errorf("expected deadline misses under 4x throttle, got %d", res.DeadlineMisses)
+	}
+}
+
+// TestStreamDegradationCancel: a cancelled context aborts RunContext with
+// an error wrapping context.Canceled before any window completes.
+func TestStreamDegradationCancel(t *testing.T) {
+	s := newScheduler(t, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := burstRequests(t, model.ResNet50, model.SqueezeNet)
+	if _, err := s.RunContext(ctx, reqs, pipeline.DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext error %v does not wrap context.Canceled", err)
+	}
+}

@@ -4,9 +4,21 @@
 // the planner should be scheduled more frequently to avoid enlarged search
 // space". Windows execute back to back on the SoC; within a window the full
 // two-step plan applies.
+//
+// The scheduler is degradation-aware: Config.Events injects thermal
+// throttles, frequency scalings, processor offline/online transitions and
+// bus-bandwidth squeezes on the same virtual clock. When an event falls
+// inside a running window the window is interrupted: completions before the
+// event stand, in-flight work is discarded and requeued, the affected cost
+// tables are invalidated (only those — unaffected (model, processor) pairs
+// stay cached), and the window is replanned against the degraded SoC. When
+// a plan becomes infeasible (every processor a model needs is offline) the
+// scheduler backs off on the virtual clock and retries, picking up
+// recovery events as they come due.
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,6 +28,7 @@ import (
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/model"
 	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
 )
 
 // Request is one arriving inference job.
@@ -24,6 +37,10 @@ type Request struct {
 	Model *model.Model
 	// Arrival is the virtual arrival time.
 	Arrival time.Duration
+	// Deadline, when positive, is the sojourn budget: completing later than
+	// Arrival+Deadline counts a deadline miss in the result (the request
+	// still runs to completion — misses are reported, not dropped).
+	Deadline time.Duration
 }
 
 // Config tunes the online scheduler.
@@ -35,11 +52,39 @@ type Config struct {
 	// MaxBatch, when above 1, coalesces lightweight same-model requests
 	// inside each window (Appendix D).
 	MaxBatch int
+	// Events are degradation events injected on the virtual clock. They
+	// are applied in At order; an event due mid-window interrupts and
+	// replans the window.
+	Events []soc.Event
+	// MaxRetries bounds consecutive failed planning attempts for one
+	// window before the run gives up. Zero means fail on the first
+	// infeasible plan.
+	MaxRetries int
+	// RetryBackoff is the initial virtual-clock pause after a failed
+	// planning attempt; it doubles per consecutive retry. Zero selects a
+	// default of 500µs.
+	RetryBackoff time.Duration
 }
 
-// DefaultConfig plans up to eight requests per window with batching on.
+// DefaultConfig plans up to eight requests per window with batching on and
+// a modest retry budget for degradation recovery.
 func DefaultConfig() Config {
-	return Config{MaxWindow: 8, MaxBatch: 32}
+	return Config{MaxWindow: 8, MaxBatch: 32, MaxRetries: 6, RetryBackoff: 500 * time.Microsecond}
+}
+
+// WindowStat records one planning window's degradation bookkeeping.
+type WindowStat struct {
+	// Start and End bound the window on the virtual clock. For an
+	// interrupted window End is the interrupting event's time.
+	Start, End time.Duration
+	// Requests is the window's size; Completed how many finished;
+	// Requeued how many were discarded and pushed back by an interrupt.
+	Requests, Completed, Requeued int
+	// EventsApplied counts degradation events applied before or during
+	// this window; PlanRetries counts failed planning attempts backed off.
+	EventsApplied, PlanRetries int
+	// Interrupted marks a window cut short by a degradation event.
+	Interrupted bool
 }
 
 // Result aggregates the online run.
@@ -58,6 +103,21 @@ type Result struct {
 	// measurements. A steady-state stream of recurring models converges to
 	// one miss per distinct (model, batch) and hits everywhere else.
 	CacheHits, CacheMisses uint64
+	// Replans counts windows interrupted by a degradation event and
+	// replanned on the degraded SoC.
+	Replans int
+	// Retried counts request executions discarded by an interrupt and
+	// requeued (one request interrupted twice counts twice).
+	Retried int
+	// PlanRetries counts planning attempts that failed (typically every
+	// capable processor offline) and were retried after a backoff.
+	PlanRetries int
+	// DeadlineMisses counts requests that completed after their deadline.
+	DeadlineMisses int
+	// EventsApplied counts degradation events consumed during the run.
+	EventsApplied int
+	// WindowStats details each planning window in order.
+	WindowStats []WindowStat
 }
 
 // MeanSojourn returns the average request sojourn time.
@@ -91,6 +151,7 @@ func (r *Result) P95Sojourn() time.Duration {
 type Scheduler struct {
 	planner *core.Planner
 	cfg     Config
+	events  []soc.Event // validated, sorted copy of cfg.Events
 }
 
 // NewScheduler wraps a planner for online use.
@@ -104,15 +165,44 @@ func NewScheduler(planner *core.Planner, cfg Config) (*Scheduler, error) {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 1
 	}
-	return &Scheduler{planner: planner, cfg: cfg}, nil
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("stream: max retries %d < 0", cfg.MaxRetries)
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 500 * time.Microsecond
+	}
+	for i := range cfg.Events {
+		if err := cfg.Events[i].Validate(); err != nil {
+			return nil, fmt.Errorf("stream: event %d: %w", i, err)
+		}
+	}
+	return &Scheduler{planner: planner, cfg: cfg, events: soc.SortEvents(cfg.Events)}, nil
 }
 
-// Run executes the request stream to completion. Requests must be sorted by
-// arrival time. The virtual clock advances window by window: each planning
-// round takes every request that has arrived (up to MaxWindow, FIFO), plans
-// it, executes the window, and the clock jumps to the window's completion —
-// or to the next arrival when the SoC is idle.
+// Run executes the request stream to completion. It is RunContext under a
+// background context.
 func (s *Scheduler) Run(requests []Request, execOpts pipeline.Options) (*Result, error) {
+	return s.RunContext(context.Background(), requests, execOpts)
+}
+
+// RunContext executes the request stream to completion. Requests must be
+// sorted by arrival time. The virtual clock advances window by window: each
+// planning round takes every request that has arrived (up to MaxWindow,
+// FIFO), plans it, executes the window, and the clock jumps to the window's
+// completion — or to the next arrival when the SoC is idle.
+//
+// Degradation events due at or before the clock are applied to the
+// planner's SoC before each window is planned, and only the affected
+// processors' cost tables are invalidated. An event due strictly inside a
+// window's execution interrupts it: completions before the event stand,
+// the rest of the window is requeued at the head of the queue and
+// replanned after the event applies. Work in flight at the interrupt is
+// discarded — a conservative model of migration off a degraded processor.
+//
+// Cancellation is checked at every window boundary, inside the planner and
+// inside the executor's clock loop, so a cancelled context aborts within
+// one planning window and returns an error wrapping ctx.Err().
+func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts pipeline.Options) (*Result, error) {
 	n := len(requests)
 	res := &Result{
 		Completions: make([]time.Duration, n),
@@ -125,63 +215,168 @@ func (s *Scheduler) Run(requests []Request, execOpts pipeline.Options) (*Result,
 	}
 	hits0, misses0 := s.planner.CacheStats()
 	now := time.Duration(0)
-	next := 0
-	for next < n {
-		if requests[next].Arrival > now {
-			now = requests[next].Arrival // idle until the next arrival
-		}
-		// Gather the window.
-		end := next
-		for end < n && end-next < s.cfg.MaxWindow && requests[end].Arrival <= now {
-			end++
-		}
-		window := requests[next:end]
-		models := make([]*model.Model, len(window))
-		for i, rq := range window {
-			models[i] = rq.Model
-		}
+	next := 0       // next unadmitted arrival
+	var queue []int // admitted, uncompleted request indices, FIFO
+	eventIdx := 0   // next unapplied event in s.events
 
+	// applyDue applies every event with At ≤ now and invalidates only the
+	// affected processors' cost tables. Returns how many events applied.
+	applyDue := func() (int, error) {
+		applied := 0
+		for eventIdx < len(s.events) && s.events[eventIdx].At <= now {
+			ev := s.events[eventIdx]
+			affected, err := s.planner.SoC().Apply(ev)
+			if err != nil {
+				return applied, fmt.Errorf("stream: applying event %v: %w", ev, err)
+			}
+			s.planner.InvalidateProcessors(affected...)
+			eventIdx++
+			applied++
+		}
+		res.EventsApplied += applied
+		return applied, nil
+	}
+
+	record := func(global int, done time.Duration) {
+		res.Completions[global] = done
+		res.Sojourns[global] = done - requests[global].Arrival
+		if d := requests[global].Deadline; d > 0 && res.Sojourns[global] > d {
+			res.DeadlineMisses++
+		}
+		if done > res.Makespan {
+			res.Makespan = done
+		}
+	}
+
+	for next < n || len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("stream: run cancelled: %w", err)
+		}
+		// Idle: jump to the next arrival.
+		if len(queue) == 0 && requests[next].Arrival > now {
+			now = requests[next].Arrival
+		}
+		ws := WindowStat{Start: now}
+		if applied, err := applyDue(); err != nil {
+			return nil, err
+		} else {
+			ws.EventsApplied += applied
+		}
+		// Admit everything that has arrived.
+		for next < n && requests[next].Arrival <= now {
+			queue = append(queue, next)
+			next++
+		}
+		take := min(len(queue), s.cfg.MaxWindow)
+		window := queue[:take]
+		models := make([]*model.Model, take)
+		for i, global := range window {
+			models[i] = requests[global].Model
+		}
+		ws.Requests = take
+
+		// Plan, retrying with exponential virtual backoff when the degraded
+		// SoC leaves no feasible partition (e.g. every processor offline).
+		// Backoff advances the clock, which may bring a recovery event due.
 		var sched *pipeline.Schedule
 		var groups []core.BatchGroup
-		var err error
-		if s.cfg.MaxBatch > 1 {
-			var plan *core.Plan
-			plan, groups, err = s.planner.PlanBatched(models, s.cfg.MaxBatch)
+		for attempt := 0; ; attempt++ {
+			var err error
+			sched, groups, err = s.planWindow(ctx, models)
 			if err == nil {
-				sched = plan.Schedule
+				break
 			}
-		} else {
-			var plan *core.Plan
-			plan, err = s.planner.PlanModels(models)
-			if err == nil {
-				sched = plan.Schedule
-				groups = identityGroups(models, plan.Order)
+			if !errors.Is(err, core.ErrInfeasiblePartition) || attempt >= s.cfg.MaxRetries {
+				return nil, fmt.Errorf("stream: planning window at %v: %w", now, err)
+			}
+			res.PlanRetries++
+			ws.PlanRetries++
+			now += s.cfg.RetryBackoff << attempt
+			if applied, aerr := applyDue(); aerr != nil {
+				return nil, aerr
+			} else {
+				ws.EventsApplied += applied
 			}
 		}
-		if err != nil {
-			return nil, fmt.Errorf("stream: planning window at %v: %w", now, err)
-		}
-		exec, err := pipeline.Execute(sched, execOpts)
+		exec, err := pipeline.ExecuteContext(ctx, sched, execOpts)
 		if err != nil {
 			return nil, fmt.Errorf("stream: executing window at %v: %w", now, err)
 		}
-		// Map group completions back to original requests.
-		for pos, g := range groups {
-			done := now + exec.Completions[pos]
-			for _, local := range g.Requests {
-				global := next + local
-				res.Completions[global] = done
-				res.Sojourns[global] = done - requests[global].Arrival
-			}
+
+		// Does the next event land strictly inside this window's execution?
+		windowEnd := now + exec.Makespan
+		interruptAt := time.Duration(-1)
+		if eventIdx < len(s.events) && s.events[eventIdx].At < windowEnd {
+			interruptAt = s.events[eventIdx].At
 		}
-		now += exec.Makespan
+
+		if interruptAt < 0 {
+			for pos, g := range groups {
+				done := now + exec.Completions[pos]
+				for _, local := range g.Requests {
+					record(window[local], done)
+				}
+			}
+			queue = queue[take:]
+			now = windowEnd
+			ws.Completed = take
+			ws.End = now
+		} else {
+			// Interrupt: completions at or before the event stand; the rest
+			// of the window is requeued (FIFO order preserved) and replanned
+			// next round on the post-event SoC.
+			survived := make(map[int]bool, take)
+			for pos, g := range groups {
+				done := now + exec.Completions[pos]
+				if done > interruptAt {
+					continue
+				}
+				for _, local := range g.Requests {
+					record(window[local], done)
+					survived[local] = true
+				}
+			}
+			requeue := make([]int, 0, take-len(survived))
+			for local, global := range window {
+				if !survived[local] {
+					requeue = append(requeue, global)
+				}
+			}
+			queue = append(requeue, queue[take:]...)
+			now = interruptAt
+			res.Replans++
+			res.Retried += len(requeue)
+			ws.Completed = len(survived)
+			ws.Requeued = len(requeue)
+			ws.Interrupted = true
+			ws.End = now
+		}
 		res.Windows++
-		next = end
+		res.WindowStats = append(res.WindowStats, ws)
 	}
-	res.Makespan = now
+	if now > res.Makespan {
+		res.Makespan = now
+	}
 	hits1, misses1 := s.planner.CacheStats()
 	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
 	return res, nil
+}
+
+// planWindow plans one window's models, with or without Appendix-D
+// batching, and returns the schedule plus the group→request mapping.
+func (s *Scheduler) planWindow(ctx context.Context, models []*model.Model) (*pipeline.Schedule, []core.BatchGroup, error) {
+	if s.cfg.MaxBatch > 1 {
+		plan, groups, err := s.planner.PlanBatchedContext(ctx, models, s.cfg.MaxBatch)
+		if err != nil {
+			return nil, nil, err
+		}
+		return plan.Schedule, groups, nil
+	}
+	plan, err := s.planner.PlanModelsContext(ctx, models)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Schedule, identityGroups(models, plan.Order), nil
 }
 
 // identityGroups wraps unbatched requests as singleton groups following the

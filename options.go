@@ -1,0 +1,79 @@
+package hetero2pipe
+
+import (
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stream"
+)
+
+// config is the assembled system configuration NewSystem builds from its
+// Option list.
+type config struct {
+	planner core.Options
+	stream  stream.Config
+}
+
+func defaultConfig() config {
+	return config{planner: core.DefaultOptions(), stream: stream.DefaultConfig()}
+}
+
+// Option configures a System. Options compose left to right; later options
+// override earlier ones.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithParallelism bounds the planner's worker pool (1 = strictly
+// sequential, ≤ 0 = auto-size to GOMAXPROCS). The planned result is
+// byte-identical at every setting — the engine merges parallel work in
+// deterministic index order — so this is purely a planning-latency knob.
+func WithParallelism(n int) Option {
+	return optionFunc(func(c *config) { c.planner.Parallelism = n })
+}
+
+// WithWindow caps how many queued requests each online planning window
+// takes (RunStream). Larger windows give the planner more freedom but grow
+// its search space.
+func WithWindow(n int) Option {
+	return optionFunc(func(c *config) { c.stream.MaxWindow = n })
+}
+
+// WithMaxBatch bounds Appendix-D coalescing of lightweight same-model
+// requests inside each planning window; 1 disables batching.
+func WithMaxBatch(n int) Option {
+	return optionFunc(func(c *config) { c.stream.MaxBatch = n })
+}
+
+// WithDegradationEvents injects degradation events (thermal throttle,
+// frequency scaling, processor offline/online, bus squeeze) on the virtual
+// clock of every RunStream call whose StreamConfig carries no events of its
+// own. Build events directly or parse them with ParseEvents.
+func WithDegradationEvents(events ...Event) Option {
+	return optionFunc(func(c *config) { c.stream.Events = append([]soc.Event(nil), events...) })
+}
+
+// WithPlannerOptions replaces the full planner configuration — the escape
+// hatch for ablations (core.NoCTOptions) and custom estimators.
+func WithPlannerOptions(o Options) Option {
+	return optionFunc(func(c *config) { c.planner = core.Options(o) })
+}
+
+// Options is the legacy all-in-one planner configuration struct. It
+// implements Option, so existing NewSystem(preset, DefaultOptions()) calls
+// keep working unchanged.
+//
+// Deprecated: prefer the functional options (WithParallelism,
+// WithWindow, ...); reach for WithPlannerOptions when the full struct is
+// genuinely needed.
+type Options core.Options
+
+func (o Options) apply(c *config) { c.planner = core.Options(o) }
+
+// DefaultOptions returns the full Hetero²Pipe planner configuration.
+//
+// Deprecated: NewSystem with no options applies the same defaults.
+func DefaultOptions() Options { return Options(core.DefaultOptions()) }
