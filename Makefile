@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade bench fuzz fuzz-degrade
+.PHONY: check build vet test race diff degrade obs bench fuzz fuzz-degrade
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade
+check: vet build race diff degrade obs
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,16 @@ diff:
 degrade:
 	$(GO) test -race -count=1 -run 'Degrad' ./internal/soc/ ./internal/stream/ .
 
+## obs: the observability suite under the race detector — metrics registry
+## concurrency, run-report/Result equivalence, stream Chrome traces and the
+## scheduler/executor accounting regression tests.
+obs:
+	$(GO) test -race -count=1 -run Obs ./internal/obs/ ./internal/pipeline/ ./internal/stream/ ./internal/trace/ ./cmd/h2pipe/ ./cmd/benchjson/ .
+
+## bench: five interleaved repetitions with allocation stats, archived as
+## machine-readable JSON (BENCH_<date>.json) for regression tracking.
 bench:
-	$(GO) test -bench . -benchmem -run xxx .
+	$(GO) test -bench . -benchmem -count=5 -run xxx . | $(GO) run ./cmd/benchjson | tee BENCH_$(shell date +%Y-%m-%d).json
 
 ## fuzz: a short run of the parallel-vs-sequential differential fuzz target.
 fuzz:

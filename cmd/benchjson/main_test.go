@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hetero2pipe
+cpu: Some CPU @ 2.50GHz
+BenchmarkPlanColdCache-8   	      10	  11683775 ns/op	 1048576 B/op	    2048 allocs/op
+BenchmarkPlanWarmCache-8   	     100	    926113 ns/op	   65536 B/op	     128 allocs/op
+BenchmarkPlanWarmCache-8   	     102	    917004 ns/op	   65012 B/op	     127 allocs/op
+BenchmarkExecute-8         	     500	    210042 ns/op
+PASS
+ok  	hetero2pipe	4.021s
+`
+
+func TestObsBenchJSONConvert(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []benchResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4 (repeated -count runs kept separate)", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkPlanColdCache-8" || first.Runs != 10 ||
+		first.NsPerOp != 11683775 || first.BytesPerOp != 1048576 || first.AllocsPerOp != 2048 {
+		t.Errorf("first result mismatch: %+v", first)
+	}
+	last := results[3]
+	if last.Name != "BenchmarkExecute-8" || last.NsPerOp != 210042 || last.BytesPerOp != 0 {
+		t.Errorf("no-benchmem line mismatch: %+v", last)
+	}
+}
+
+func TestObsBenchJSONRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	hetero2pipe	4.021s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"Benchmark only three",
+	} {
+		if r, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, r)
+		}
+	}
+}
+
+func TestObsBenchJSONEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader("no benchmarks here\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty input produced %q, want []", got)
+	}
+}

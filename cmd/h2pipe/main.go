@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
 	"hetero2pipe/internal/baseline"
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
@@ -65,6 +67,8 @@ func run(ctx context.Context, args []string) error {
 		eventsFlag = fs.String("events", "", "degradation events kind[:proc]@at[:factor], comma-separated (e.g. offline:npu@40ms,throttle:gpu@10ms:1.8); applied on the stream clock, or immediately without -stream")
 		gap        = fs.Duration("gap", 10*time.Millisecond, "mean inter-arrival gap in -stream mode")
 		window     = fs.Int("window", 8, "max requests per planning window in -stream mode")
+		report     = fs.Bool("report", false, "print a structured JSON run report on stdout")
+		metricsOut = fs.String("metrics", "", "write the metrics registry in Prometheus text format to a file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,12 +116,22 @@ func run(ctx context.Context, args []string) error {
 	opts.Mitigation = !*noMit
 	opts.WorkStealing = !*noSteal
 	opts.TailOptimization = !*noTail
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry("h2pipe")
+		opts.Metrics = reg
+	}
 	planner, err := core.NewPlanner(s, opts)
 	if err != nil {
 		return err
 	}
 	if *streamMode {
-		return runStream(ctx, planner, models, events, *gap, *window)
+		return runStream(ctx, planner, models, events, *gap, *window, streamOutputs{
+			report:     *report,
+			metricsOut: *metricsOut,
+			traceOut:   *traceOut,
+			registry:   reg,
+		})
 	}
 	// Without -stream, events apply immediately (their timestamps are
 	// ignored): plan against the already-degraded SoC.
@@ -129,13 +143,31 @@ func run(ctx context.Context, args []string) error {
 		planner.InvalidateProcessors(affected...)
 		fmt.Printf("applied %v\n", ev)
 	}
+	planStart := time.Now()
 	plan, err := planner.PlanModelsContext(ctx, models)
 	if err != nil {
 		return err
 	}
-	res, err := pipeline.ExecuteContext(ctx, plan.Schedule, pipeline.DefaultOptions())
+	planWall := time.Since(planStart)
+	execOpts := pipeline.DefaultOptions()
+	execOpts.Metrics = reg
+	res, err := pipeline.ExecuteContext(ctx, plan.Schedule, execOpts)
 	if err != nil {
 		return err
+	}
+
+	if *report {
+		rep := offlineReport(s, planner, res, planWall)
+		raw, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("SoC: %s (%d processors)\n", s.Name, s.NumProcessors())
@@ -218,12 +250,23 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
+// streamOutputs carries the observability outputs requested on the command
+// line into runStream.
+type streamOutputs struct {
+	report     bool
+	metricsOut string
+	traceOut   string
+	registry   *obs.Registry
+}
+
 // runStream replays the models as a Poisson arrival stream with per-window
 // planning and prints the online/degradation statistics.
-func runStream(ctx context.Context, planner *core.Planner, models []*model.Model, events []soc.Event, gap time.Duration, window int) error {
+func runStream(ctx context.Context, planner *core.Planner, models []*model.Model, events []soc.Event, gap time.Duration, window int, out streamOutputs) error {
 	cfg := stream.DefaultConfig()
 	cfg.MaxWindow = window
 	cfg.Events = events
+	cfg.Metrics = out.registry
+	cfg.CollectWindowTraces = out.traceOut != ""
 	sched, err := stream.NewScheduler(planner, cfg)
 	if err != nil {
 		return err
@@ -232,6 +275,28 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 	res, err := sched.RunContext(ctx, requests, pipeline.DefaultOptions())
 	if err != nil {
 		return err
+	}
+	if out.report {
+		raw, err := res.Report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+	}
+	if out.metricsOut != "" {
+		if err := writeMetrics(out.metricsOut, out.registry); err != nil {
+			return err
+		}
+	}
+	if out.traceOut != "" {
+		data, err := trace.StreamChrome(res.WindowTraces)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out.traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome stream trace to %s\n", out.traceOut)
 	}
 	fmt.Printf("online run: %d requests, mean gap %v\n", len(requests), gap)
 	fmt.Printf("makespan:           %8.2f ms\n", res.Makespan.Seconds()*1e3)
@@ -256,6 +321,83 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 		}
 	}
 	return nil
+}
+
+// writeMetrics dumps the registry in Prometheus text exposition format.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheus(f, reg); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics to %s\n", path)
+	return nil
+}
+
+// offlineReport builds a run report for a one-shot (non-stream) run, where
+// every request arrives at t=0 so sojourn equals completion time.
+func offlineReport(s *soc.SoC, planner *core.Planner, res *pipeline.Result, planWall time.Duration) *obs.RunReport {
+	hits, misses := planner.CacheStats()
+	var slowSum, slowMax float64
+	for _, e := range res.Timeline {
+		slowSum += e.Slowdown
+		if e.Slowdown > slowMax {
+			slowMax = e.Slowdown
+		}
+	}
+	var meanSlow float64
+	if len(res.Timeline) > 0 {
+		meanSlow = slowSum / float64(len(res.Timeline))
+	}
+	var ratio float64
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	sojourns := append([]time.Duration(nil), res.Completions...)
+	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	var mean, p95 time.Duration
+	if n := len(sojourns); n > 0 {
+		var sum time.Duration
+		for _, d := range sojourns {
+			sum += d
+		}
+		mean = sum / time.Duration(n)
+		idx := (n*95 + 99) / 100 // ceil(0.95 n)
+		if idx > n {
+			idx = n
+		}
+		p95 = sojourns[idx-1]
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &obs.RunReport{
+		SoC:           s.Name,
+		Requests:      len(res.Completions),
+		Completed:     len(res.Completions),
+		MakespanMS:    ms(res.Makespan),
+		MeanSojournMS: ms(mean),
+		P95SojournMS:  ms(p95),
+		Planner: obs.PlannerReport{
+			PlanWallMS:    ms(planWall),
+			DPCells:       planner.DPCells(),
+			CacheHits:     hits,
+			CacheMisses:   misses,
+			CacheHitRatio: ratio,
+		},
+		Executor: obs.ExecutorReport{
+			Slices:          len(res.Timeline),
+			BubbleMS:        ms(res.BubbleTime),
+			AdmissionStalls: res.AdmissionStalls,
+			PeakMemoryBytes: res.PeakMemoryBytes,
+			MeanSlowdown:    meanSlow,
+			MaxSlowdown:     slowMax,
+		},
+	}
 }
 
 // runComparison executes every scheme over the same requests and prints the

@@ -3,11 +3,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/soc"
 )
 
@@ -94,6 +96,106 @@ func TestRunStreamDegraded(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-stream", "-events", "bogus@spec"}); err == nil {
 		t.Error("malformed -events accepted")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed. The reader drains concurrently so large output cannot fill the
+// pipe buffer and deadlock the writer.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestObsRunOfflineReport: -report in one-shot mode prints a JSON run
+// report as the first stdout value, and -metrics dumps Prometheus text.
+func TestObsRunOfflineReport(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	out := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-models", "ResNet50,SqueezeNet",
+			"-plan=false", "-gantt", "0", "-report", "-metrics", metricsPath})
+	})
+	var rep obs.RunReport
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&rep); err != nil {
+		t.Fatalf("-report output does not start with a JSON report: %v\noutput:\n%s", err, out)
+	}
+	if rep.Requests != 2 || rep.Completed != 2 {
+		t.Errorf("report requests/completed = %d/%d, want 2/2", rep.Requests, rep.Completed)
+	}
+	if rep.SoC != "Kirin990" {
+		t.Errorf("report SoC = %q", rep.SoC)
+	}
+	if rep.MakespanMS <= 0 || rep.Executor.Slices == 0 || rep.Planner.CacheMisses == 0 {
+		t.Errorf("report missing figures: %+v", rep)
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	for _, want := range []string{"# TYPE", "h2pipe_executor_slices_total", "h2pipe_planner_cache_misses_total"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestObsRunStreamReportTrace: stream mode wires -report, -metrics and
+// -trace (window traces with interrupted segments) together.
+func TestObsRunStreamReportTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "stream-trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	out := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-stream",
+			"-models", "ResNet50,SqueezeNet,GoogLeNet",
+			"-gap", "2ms", "-events", "offline:npu@3ms",
+			"-report", "-trace", tracePath, "-metrics", metricsPath})
+	})
+	var rep obs.RunReport
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&rep); err != nil {
+		t.Fatalf("-report output does not start with a JSON report: %v\noutput:\n%s", err, out)
+	}
+	if rep.Stream.Windows == 0 || len(rep.Windows) != rep.Stream.Windows {
+		t.Errorf("report windows: %d flat vs %d rows", rep.Stream.Windows, len(rep.Windows))
+	}
+	if rep.Stream.EventsApplied == 0 {
+		t.Error("degraded stream report shows no events applied")
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("stream trace not written: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traceData, &events); err != nil {
+		t.Fatalf("stream trace not JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("stream trace is empty")
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	if !strings.Contains(string(prom), "h2pipe_stream_windows_total") {
+		t.Error("metrics output missing stream counters")
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/soc"
 	"hetero2pipe/internal/stream"
@@ -49,6 +51,12 @@ func NewSystemFor(s *soc.SoC, opts ...Option) (*System, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	if cfg.metrics != nil {
+		// One registry feeds every layer; option order doesn't matter
+		// because WithPlannerOptions replaces the struct before this point.
+		cfg.planner.Metrics = cfg.metrics
+		cfg.stream.Metrics = cfg.metrics
 	}
 	planner, err := core.NewPlanner(s, cfg.planner)
 	if err != nil {
@@ -141,7 +149,9 @@ func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) 
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
-	exec, err := pipeline.ExecuteContext(ctx, plan.Schedule, pipeline.DefaultOptions())
+	execOpts := pipeline.DefaultOptions()
+	execOpts.Metrics = sys.cfg.metrics
+	exec, err := pipeline.ExecuteContext(ctx, plan.Schedule, execOpts)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -225,6 +235,40 @@ type StreamResult = stream.Result
 // eight, batching on, a modest retry budget).
 func DefaultStreamConfig() StreamConfig { return stream.DefaultConfig() }
 
+// MetricsRegistry re-exports the observability registry: named counters,
+// gauges and fixed-bucket histograms, lock-free on the hot path and
+// snapshot-able without stopping the world. Attach one with WithMetrics.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot re-exports a point-in-time view of a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// RunReport re-exports the structured JSON run report populated on
+// StreamResult.Report (and buildable for offline runs via h2pipe -report).
+type RunReport = obs.RunReport
+
+// NewMetricsRegistry creates a metrics registry. The name prefixes every
+// exported series ("<name>_<metric>") in Prometheus text output.
+func NewMetricsRegistry(name string) *MetricsRegistry { return obs.NewRegistry(name) }
+
+// WritePrometheus writes a registry snapshot in Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, reg *MetricsRegistry) error {
+	return obs.WritePrometheus(w, reg)
+}
+
+// PublishExpvar publishes the registry under "h2pipe:<name>" in the
+// process-wide expvar namespace (visible on /debug/vars). Each registry
+// name can be published once per process.
+func PublishExpvar(reg *MetricsRegistry) error { return obs.PublishExpvar(reg) }
+
+// StreamChromeTrace renders a stream run's collected window traces
+// (StreamConfig.CollectWindowTraces) as Chrome trace-event JSON, with
+// interrupted and replanned windows shown as distinct segments.
+func StreamChromeTrace(res *StreamResult) ([]byte, error) {
+	return trace.StreamChrome(res.WindowTraces)
+}
+
 // RunStream executes an arrival-ordered request stream with per-window
 // planning (the online deployment mode).
 func (sys *System) RunStream(requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
@@ -250,6 +294,9 @@ func (sys *System) RunStreamContext(ctx context.Context, requests []StreamReques
 		}
 	} else if cfg.Events == nil {
 		cfg.Events = sys.cfg.stream.Events
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = sys.cfg.stream.Metrics
 	}
 	sched, err := stream.NewScheduler(sys.planner, cfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
 )
@@ -53,10 +54,19 @@ type costCache struct {
 	entries map[string]*cacheEntry
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	// hitC/missC mirror the lifetime counters into the owning planner's
+	// metrics registry (detached instruments when no registry is set).
+	hitC  *obs.Counter
+	missC *obs.Counter
 }
 
-func newCostCache(s *soc.SoC) *costCache {
-	return &costCache{soc: s, entries: make(map[string]*cacheEntry)}
+func newCostCache(s *soc.SoC, reg *obs.Registry) *costCache {
+	return &costCache{
+		soc:     s,
+		entries: make(map[string]*cacheEntry),
+		hitC:    reg.Counter("planner_cache_hits_total"),
+		missC:   reg.Counter("planner_cache_misses_total"),
+	}
 }
 
 // cacheKey identifies a model cheaply. Name alone is not trusted — two
@@ -102,6 +112,7 @@ func (c *costCache) profile(s *soc.SoC, m *model.Model) (*profile.Profile, error
 			if e.assembled != nil {
 				c.mu.RUnlock()
 				c.hits.Add(1)
+				c.hitC.Inc()
 				return e.assembled, nil
 			}
 			reuse = append([]*profile.Table(nil), e.tables...)
@@ -117,8 +128,10 @@ func (c *costCache) profile(s *soc.SoC, m *model.Model) (*profile.Profile, error
 	}
 	if reused > 0 {
 		c.hits.Add(1)
+		c.hitC.Inc()
 	}
 	c.misses.Add(1)
+	c.missC.Inc()
 	p, err := profile.FromTables(s, m, reuse)
 	if err != nil {
 		return nil, err

@@ -64,7 +64,7 @@ func Partition(p *profile.Profile) (pipeline.Cuts, float64, error) {
 // for cancellation between cell rows, so a long chain aborts promptly
 // without finishing its table.
 func PartitionContext(ctx context.Context, p *profile.Profile) (pipeline.Cuts, float64, error) {
-	choice, best, err := partitionTable(ctx, p, false)
+	choice, best, _, err := partitionTable(ctx, p, false)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -77,7 +77,7 @@ func PartitionContext(ctx context.Context, p *profile.Profile) (pipeline.Cuts, f
 // exact when Property 2 holds for the combined exec+copy cost and within a
 // fraction of a percent of optimal otherwise.
 func PartitionFast(p *profile.Profile) (pipeline.Cuts, float64, error) {
-	choice, best, err := partitionTable(context.Background(), p, true)
+	choice, best, _, err := partitionTable(context.Background(), p, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -89,14 +89,17 @@ func PartitionFast(p *profile.Profile) (pipeline.Cuts, float64, error) {
 // enough to keep ctx.Err out of the inner-loop cost.
 const cancelCheckStride = 64
 
-// partitionTable fills the DP and returns the per-stage choice table and
-// the optimal bottleneck.
-func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int, float64, error) {
+// partitionTable fills the DP and returns the per-stage choice table, the
+// optimal bottleneck, and the number of DP cells evaluated (the
+// observability figure behind Planner.DPCells — base row plus every
+// (stage, j) cell filled before completion or cancellation).
+func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int, float64, uint64, error) {
 	n := p.NumLayers()
 	k := p.NumProcessors()
 	if n == 0 || k == 0 {
-		return nil, 0, ErrInfeasiblePartition
+		return nil, 0, 0, ErrInfeasiblePartition
 	}
+	var cells uint64
 
 	// dp[j+1] = S*(j, stage) for prefix ending at layer j; dp[0] = S*(∅).
 	dp := make([]float64, n+1)
@@ -113,6 +116,7 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 	for j := 0; j < n; j++ {
 		prev[j+1] = sliceSeconds(p, 0, 0, j)
 		choice[0][j+1] = 0
+		cells++
 	}
 	choice[0][0] = 0
 
@@ -121,7 +125,7 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 		choice[stage][0] = 0
 		for j := 0; j < n; j++ {
 			if j%cancelCheckStride == 0 && ctx.Err() != nil {
-				return nil, 0, cancelErr(ctx)
+				return nil, 0, cells, cancelErr(ctx)
 			}
 			var bestI int
 			var bestV float64
@@ -132,14 +136,15 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 			}
 			dp[j+1] = bestV
 			choice[stage][j+1] = bestI
+			cells++
 		}
 		dp, prev = prev, dp
 	}
 	best := prev[n]
 	if math.IsInf(best, 1) {
-		return nil, 0, ErrInfeasiblePartition
+		return nil, 0, cells, ErrInfeasiblePartition
 	}
-	return choice, best, nil
+	return choice, best, cells, nil
 }
 
 // cellByScan minimises max(prev[i], cost(i, j)) exactly, pruning on the

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hetero2pipe/internal/contention"
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/parallel"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
@@ -45,6 +47,15 @@ type Options struct {
 	// plan is byte-identical at every value (proven by the differential
 	// suite; see DESIGN.md §6).
 	Parallelism int
+	// Metrics, when set, receives planner observability: plan wall-time
+	// (planner_plan_seconds), plans completed (planner_plans_total), DP
+	// cells evaluated (planner_dp_cells_total) and cost-cache traffic
+	// (planner_cache_{hits,misses}_total). Nil disables the registry writes
+	// at negligible cost; the Planner-level counters (CacheStats, DPCells)
+	// are always live. Note ExecOptions.Metrics is deliberately separate:
+	// the planner leaves it nil so its internal candidate evaluations do
+	// not pollute executor metrics (see DESIGN.md §9).
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the full Hetero²Pipe configuration.
@@ -69,11 +80,20 @@ func NoCTOptions() Options {
 }
 
 // Planner plans multi-DNN pipelines for one SoC. It is safe for concurrent
-// use: all mutable state lives in the lock-guarded cost cache.
+// use: all mutable state lives in the lock-guarded cost cache and atomic
+// counters.
 type Planner struct {
 	soc   *soc.SoC
 	opts  Options
 	cache *costCache
+
+	// dpCells accumulates DP cells evaluated across the planner's lifetime.
+	dpCells atomic.Uint64
+	// Registry handles, resolved once at construction (detached no-op
+	// instruments when Options.Metrics is nil).
+	mPlans       *obs.Counter
+	mDPCells     *obs.Counter
+	mPlanSeconds *obs.Histogram
 }
 
 // NewPlanner validates the SoC and returns a planner.
@@ -84,7 +104,31 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 	if opts.HighQuantile < 0 || opts.HighQuantile > 1 {
 		return nil, fmt.Errorf("core: high quantile %g outside [0,1]", opts.HighQuantile)
 	}
-	return &Planner{soc: s, opts: opts, cache: newCostCache(s)}, nil
+	reg := opts.Metrics
+	return &Planner{
+		soc:          s,
+		opts:         opts,
+		cache:        newCostCache(s, reg),
+		mPlans:       reg.Counter("planner_plans_total"),
+		mDPCells:     reg.Counter("planner_dp_cells_total"),
+		mPlanSeconds: reg.Histogram("planner_plan_seconds", obs.LatencyBuckets()),
+	}, nil
+}
+
+// DPCells reports the lifetime count of Algorithm-1 DP cells evaluated by
+// this planner — the planning-side work metric behind the run report.
+func (pl *Planner) DPCells() uint64 { return pl.dpCells.Load() }
+
+// partition runs the Algorithm-1 DP for one profile while accumulating the
+// evaluated-cell count into the planner's lifetime counter and registry.
+func (pl *Planner) partition(ctx context.Context, p *profile.Profile) (pipeline.Cuts, float64, error) {
+	choice, best, cells, err := partitionTable(ctx, p, false)
+	pl.dpCells.Add(cells)
+	pl.mDPCells.Add(cells)
+	if err != nil {
+		return nil, 0, err
+	}
+	return backtrackCuts(p, choice, best)
 }
 
 // workers resolves Options.Parallelism to a concrete pool size.
@@ -154,6 +198,17 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 
 // PlanProfilesContext is PlanProfiles under a cancellable context.
 func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.Profile) (*Plan, error) {
+	start := time.Now()
+	plan, err := pl.planProfiles(ctx, profiles)
+	if err != nil {
+		return nil, err
+	}
+	pl.mPlans.Inc()
+	pl.mPlanSeconds.ObserveDuration(time.Since(start))
+	return plan, nil
+}
+
+func (pl *Planner) planProfiles(ctx context.Context, profiles []*profile.Profile) (*Plan, error) {
 	m := len(profiles)
 	if m == 0 {
 		return &Plan{Schedule: &pipeline.Schedule{SoC: pl.soc}}, nil
@@ -166,7 +221,7 @@ func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.
 	cuts := make([]pipeline.Cuts, m)
 	makespans := make([]float64, m)
 	err := parallel.ForErr(pl.workers(), m, func(i int) error {
-		c, best, err := PartitionContext(ctx, profiles[i])
+		c, best, err := pl.partition(ctx, profiles[i])
 		if err != nil {
 			return fmt.Errorf("core: partitioning %s: %w", profiles[i].Model().Name, err)
 		}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders a snapshot of the registry in the Prometheus text
+// exposition format. Metric names are prefixed with the registry name and
+// sanitised to [a-zA-Z0-9_]. Histograms are rendered as cumulative
+// _bucket{le="..."} series plus _sum and _count, matching the native
+// Prometheus histogram type.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+	prefix := sanitize(s.Name)
+	if prefix != "" {
+		prefix += "_"
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		full := prefix + sanitize(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		full := prefix + sanitize(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", full, full, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		full := prefix + sanitize(name)
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", full, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", full, formatFloat(h.Sum), full, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublishExpvar publishes the registry as a single expvar variable named
+// after the registry; the value is the JSON-encoded live Snapshot. Because
+// expvar panics on duplicate names, publishing the same registry name twice
+// returns an error instead.
+func PublishExpvar(r *Registry) error {
+	if r == nil {
+		return fmt.Errorf("obs: cannot publish nil registry")
+	}
+	name := "h2pipe:" + r.name
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.Snapshot()
+	}))
+	return nil
+}
+
+// MarshalSnapshot renders a snapshot as indented JSON (the expvar payload
+// shape, useful for debugging dumps).
+func MarshalSnapshot(s Snapshot) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sanitize(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		case c == ':': // expvar-style namespacing maps to _
+			out[i] = '_'
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "encoding/json"
+
+// RunReport is the structured summary of one stream run. It is built by the
+// stream scheduler at the end of RunContext and mirrors the flat counters on
+// stream.Result, adding per-layer breakdowns (planner, executor, stream) and
+// a per-window table. All durations are reported in milliseconds to keep the
+// JSON human-readable; raw nanosecond precision stays on stream.Result.
+type RunReport struct {
+	SoC           string  `json:"soc"`
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	MakespanMS    float64 `json:"makespan_ms"`
+	MeanSojournMS float64 `json:"mean_sojourn_ms"`
+	P95SojournMS  float64 `json:"p95_sojourn_ms"`
+
+	Planner  PlannerReport  `json:"planner"`
+	Executor ExecutorReport `json:"executor"`
+	Stream   StreamReport   `json:"stream"`
+
+	Windows []WindowReport `json:"windows,omitempty"`
+}
+
+// PlannerReport aggregates planning-side observability across every window
+// of the run.
+type PlannerReport struct {
+	PlanWallMS    float64 `json:"plan_wall_ms"`
+	DPCells       uint64  `json:"dp_cells"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// ExecutorReport aggregates execution-side observability across every window
+// of the run. Slowdown statistics are over per-slice dilation factors
+// relative to the solo estimate (the paper's ψ).
+type ExecutorReport struct {
+	Slices          int     `json:"slices"`
+	BubbleMS        float64 `json:"bubble_ms"`
+	AdmissionStalls int     `json:"admission_stalls"`
+	PeakMemoryBytes int64   `json:"peak_memory_bytes"`
+	MeanSlowdown    float64 `json:"mean_slowdown"`
+	MaxSlowdown     float64 `json:"max_slowdown"`
+}
+
+// StreamReport aggregates scheduler-side observability.
+type StreamReport struct {
+	Windows        int `json:"windows"`
+	Replans        int `json:"replans"`
+	Requeues       int `json:"requeues"`
+	PlanRetries    int `json:"plan_retries"`
+	DeadlineMisses int `json:"deadline_misses"`
+	EventsApplied  int `json:"events_applied"`
+}
+
+// WindowReport is the per-window row of the report table.
+type WindowReport struct {
+	Index       int     `json:"index"`
+	StartMS     float64 `json:"start_ms"`
+	EndMS       float64 `json:"end_ms"`
+	PlanWallMS  float64 `json:"plan_wall_ms"`
+	ExecMS      float64 `json:"exec_ms"`
+	Requests    int     `json:"requests"`
+	Completed   int     `json:"completed"`
+	Requeued    int     `json:"requeued"`
+	PlanRetries int     `json:"plan_retries"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	DPCells     uint64  `json:"dp_cells"`
+	Interrupted bool    `json:"interrupted"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hetero2pipe/internal/contention"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/soc"
 )
 
@@ -24,6 +25,14 @@ type Options struct {
 	EnforceMemory bool
 	// SampleMemory records a memory/bus-demand trace (Fig. 9).
 	SampleMemory bool
+	// Metrics, when set, receives execution observability at the end of
+	// every successful run: executor_runs_total, executor_slices_total,
+	// executor_admission_stalls_total, the executor_slowdown distribution
+	// (per-slice dilation vs. the solo estimate), executor_bubble_seconds,
+	// executor_makespan_seconds and the executor_peak_memory_bytes
+	// high-water gauge. Leave nil for planner-internal candidate
+	// evaluations so only real executions are counted.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions enable contention and the memory constraint.
@@ -66,7 +75,12 @@ type Result struct {
 	BubbleTime time.Duration
 	// PeakMemoryBytes is the maximum resident memory.
 	PeakMemoryBytes int64
-	// AdmissionStalls counts requests delayed by the memory constraint.
+	// AdmissionStalls counts distinct admission stall episodes: a request
+	// entering the waiting-at-admission state (blocked by the Eq. (6)
+	// memory constraint, directly or through in-order admission) counts
+	// once per contiguous wait, not once per scheduler wake-up it sits
+	// through. Because admission is monotone within a run, each request
+	// contributes at most one episode.
 	AdmissionStalls int
 	// MemTrace holds the sampled memory/demand trace when enabled.
 	MemTrace []MemSample
@@ -140,6 +154,9 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 	nextReq := make([]int, k)
 	busy := make([]bool, k)
 	admitted := make([]bool, m)
+	// stalled[i] marks request i as inside an admission stall episode, so
+	// repeated admission failures across clock advances count one stall.
+	stalled := make([]bool, m)
 	finishedReq := make([]bool, m)
 	memUse := int64(0)
 	memOf := make([]int64, m)
@@ -229,7 +246,10 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 					break
 				}
 				if !admit(i) {
-					res.AdmissionStalls++
+					if !stalled[i] {
+						stalled[i] = true
+						res.AdmissionStalls++
+					}
 					break
 				}
 				dur := s.StageTime(i, st)
@@ -340,7 +360,27 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 		}
 		return res.Timeline[a].Stage < res.Timeline[b].Stage
 	})
+	publishExecMetrics(opts.Metrics, res)
 	return res, nil
+}
+
+// publishExecMetrics folds one successful run into the registry. The nil
+// check keeps planner-internal candidate evaluations (which run Execute
+// thousands of times with no registry) entirely free of metric writes.
+func publishExecMetrics(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("executor_runs_total").Inc()
+	reg.Counter("executor_slices_total").Add(uint64(len(res.Timeline)))
+	reg.Counter("executor_admission_stalls_total").Add(uint64(res.AdmissionStalls))
+	slow := reg.Histogram("executor_slowdown", obs.SlowdownBuckets())
+	for _, e := range res.Timeline {
+		slow.Observe(e.Slowdown)
+	}
+	reg.Histogram("executor_bubble_seconds", obs.LatencyBuckets()).ObserveDuration(res.BubbleTime)
+	reg.Histogram("executor_makespan_seconds", obs.LatencyBuckets()).ObserveDuration(res.Makespan)
+	reg.Gauge("executor_peak_memory_bytes").Max(float64(res.PeakMemoryBytes))
 }
 
 // requestMemory returns the resident bytes of request i across its slices.

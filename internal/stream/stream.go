@@ -27,6 +27,7 @@ import (
 
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/soc"
 )
@@ -61,9 +62,23 @@ type Config struct {
 	// infeasible plan.
 	MaxRetries int
 	// RetryBackoff is the initial virtual-clock pause after a failed
-	// planning attempt; it doubles per consecutive retry. Zero selects a
-	// default of 500µs.
+	// planning attempt; it doubles per consecutive retry, saturating at
+	// max(RetryBackoff, 1s) so arbitrarily large retry budgets never
+	// overflow the virtual clock. Zero selects a default of 500µs.
 	RetryBackoff time.Duration
+	// Metrics, when set, receives stream-scheduler observability
+	// (stream_windows_total, stream_replans_total, stream_requeues_total,
+	// stream_plan_retries_total, stream_deadline_misses_total,
+	// stream_events_applied_total, plus per-window plan/execute latency and
+	// per-request sojourn histograms). The same registry is handed to the
+	// executor for the real window executions unless the caller set
+	// pipeline.Options.Metrics explicitly.
+	Metrics *obs.Registry
+	// CollectWindowTraces keeps every executed window's schedule and
+	// executor timeline on the Result for Chrome-trace emission
+	// (internal/trace.StreamChrome). Off by default: traces retain every
+	// slice of every window.
+	CollectWindowTraces bool
 }
 
 // DefaultConfig plans up to eight requests per window with batching on and
@@ -85,6 +100,32 @@ type WindowStat struct {
 	EventsApplied, PlanRetries int
 	// Interrupted marks a window cut short by a degradation event.
 	Interrupted bool
+	// PlanWall is the real (wall-clock) time the planner spent on this
+	// window, across every retry. ExecSpan is the window's virtual
+	// execution span as planned; for an interrupted window the realised
+	// span is End − Start instead.
+	PlanWall, ExecSpan time.Duration
+	// CacheHits, CacheMisses and DPCells are this window's deltas of the
+	// planner's lifetime counters (skewed only if another goroutine shares
+	// the planner mid-run).
+	CacheHits, CacheMisses, DPCells uint64
+}
+
+// WindowTrace retains one executed window for trace emission: the schedule,
+// the executor result, and where (if anywhere) a degradation event cut the
+// window short. Collected only under Config.CollectWindowTraces.
+type WindowTrace struct {
+	// Window is the index into Result.WindowStats.
+	Window int
+	// Start is the window's absolute start on the virtual clock.
+	Start time.Duration
+	// Schedule is the planned window; Exec its executed timeline.
+	Schedule *pipeline.Schedule
+	Exec     *pipeline.Result
+	// Interrupted marks a window cut short at InterruptAt (absolute);
+	// slices past that instant were discarded and their requests requeued.
+	Interrupted bool
+	InterruptAt time.Duration
 }
 
 // Result aggregates the online run.
@@ -93,7 +134,10 @@ type Result struct {
 	Completions []time.Duration
 	// Sojourns[i] is completion − arrival for request i.
 	Sojourns []time.Duration
-	// Makespan is the completion of the last request.
+	// Makespan is the completion time of the last request — and only that.
+	// Idle jumps to a late arrival and failed-plan retry backoff can leave
+	// the virtual clock past the last completion; that scheduler-side time
+	// is deliberately not folded in.
 	Makespan time.Duration
 	// Windows is the number of planning invocations.
 	Windows int
@@ -118,6 +162,12 @@ type Result struct {
 	EventsApplied int
 	// WindowStats details each planning window in order.
 	WindowStats []WindowStat
+	// Report is the structured run report, always populated on success; its
+	// figures match this Result's fields exactly (see obs.RunReport).
+	Report *obs.RunReport
+	// WindowTraces holds every executed window when
+	// Config.CollectWindowTraces is set; nil otherwise.
+	WindowTraces []WindowTrace
 }
 
 // MeanSojourn returns the average request sojourn time.
@@ -213,7 +263,26 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			return nil, fmt.Errorf("stream: requests not sorted by arrival at %d", i)
 		}
 	}
+	// The executor publishes into the stream's registry for the real window
+	// executions unless the caller wired its own; the planner's internal
+	// candidate evaluations stay unmetered either way (their exec options
+	// come from core.Options.ExecOptions).
+	if execOpts.Metrics == nil {
+		execOpts.Metrics = s.cfg.Metrics
+	}
+	reg := s.cfg.Metrics
+	mWindows := reg.Counter("stream_windows_total")
+	mReplans := reg.Counter("stream_replans_total")
+	mRequeues := reg.Counter("stream_requeues_total")
+	mPlanRetries := reg.Counter("stream_plan_retries_total")
+	mDeadlineMisses := reg.Counter("stream_deadline_misses_total")
+	mEvents := reg.Counter("stream_events_applied_total")
+	mPlanSeconds := reg.Histogram("stream_window_plan_seconds", obs.LatencyBuckets())
+	mExecSeconds := reg.Histogram("stream_window_exec_seconds", obs.LatencyBuckets())
+	mSojourn := reg.Histogram("stream_sojourn_seconds", obs.LatencyBuckets())
+
 	hits0, misses0 := s.planner.CacheStats()
+	var execAgg execAggregate
 	now := time.Duration(0)
 	next := 0       // next unadmitted arrival
 	var queue []int // admitted, uncompleted request indices, FIFO
@@ -234,14 +303,17 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			applied++
 		}
 		res.EventsApplied += applied
+		mEvents.Add(uint64(applied))
 		return applied, nil
 	}
 
 	record := func(global int, done time.Duration) {
 		res.Completions[global] = done
 		res.Sojourns[global] = done - requests[global].Arrival
+		mSojourn.ObserveDuration(res.Sojourns[global])
 		if d := requests[global].Deadline; d > 0 && res.Sojourns[global] > d {
 			res.DeadlineMisses++
+			mDeadlineMisses.Inc()
 		}
 		if done > res.Makespan {
 			res.Makespan = done
@@ -262,25 +334,32 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		} else {
 			ws.EventsApplied += applied
 		}
-		// Admit everything that has arrived.
-		for next < n && requests[next].Arrival <= now {
-			queue = append(queue, next)
-			next++
-		}
-		take := min(len(queue), s.cfg.MaxWindow)
-		window := queue[:take]
-		models := make([]*model.Model, take)
-		for i, global := range window {
-			models[i] = requests[global].Model
-		}
-		ws.Requests = take
 
-		// Plan, retrying with exponential virtual backoff when the degraded
-		// SoC leaves no feasible partition (e.g. every processor offline).
-		// Backoff advances the clock, which may bring a recovery event due.
+		// Plan, retrying with saturating exponential virtual backoff when
+		// the degraded SoC leaves no feasible partition (e.g. every
+		// processor offline). Backoff advances the clock, which may bring a
+		// recovery event due — and new arrivals: admission re-runs at the
+		// top of every attempt so the replanned window sees the true queue,
+		// not the one frozen before the first failure.
+		hitsW, missesW := s.planner.CacheStats()
+		cellsW := s.planner.DPCells()
+		planStart := time.Now()
 		var sched *pipeline.Schedule
 		var groups []core.BatchGroup
+		var take int
+		var window []int
 		for attempt := 0; ; attempt++ {
+			// Admit everything that has arrived by now.
+			for next < n && requests[next].Arrival <= now {
+				queue = append(queue, next)
+				next++
+			}
+			take = min(len(queue), s.cfg.MaxWindow)
+			window = queue[:take]
+			models := make([]*model.Model, take)
+			for i, global := range window {
+				models[i] = requests[global].Model
+			}
 			var err error
 			sched, groups, err = s.planWindow(ctx, models)
 			if err == nil {
@@ -291,23 +370,45 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			}
 			res.PlanRetries++
 			ws.PlanRetries++
-			now += s.cfg.RetryBackoff << attempt
+			mPlanRetries.Inc()
+			now += retryBackoff(s.cfg.RetryBackoff, attempt)
 			if applied, aerr := applyDue(); aerr != nil {
 				return nil, aerr
 			} else {
 				ws.EventsApplied += applied
 			}
 		}
+		ws.PlanWall = time.Since(planStart)
+		mPlanSeconds.ObserveDuration(ws.PlanWall)
+		hitsW2, missesW2 := s.planner.CacheStats()
+		ws.CacheHits, ws.CacheMisses = hitsW2-hitsW, missesW2-missesW
+		ws.DPCells = s.planner.DPCells() - cellsW
+		ws.Requests = take
+
 		exec, err := pipeline.ExecuteContext(ctx, sched, execOpts)
 		if err != nil {
 			return nil, fmt.Errorf("stream: executing window at %v: %w", now, err)
 		}
+		ws.ExecSpan = exec.Makespan
+		mExecSeconds.ObserveDuration(exec.Makespan)
+		execAgg.fold(exec)
 
 		// Does the next event land strictly inside this window's execution?
 		windowEnd := now + exec.Makespan
 		interruptAt := time.Duration(-1)
 		if eventIdx < len(s.events) && s.events[eventIdx].At < windowEnd {
 			interruptAt = s.events[eventIdx].At
+		}
+
+		if s.cfg.CollectWindowTraces {
+			res.WindowTraces = append(res.WindowTraces, WindowTrace{
+				Window:      res.Windows,
+				Start:       now,
+				Schedule:    sched,
+				Exec:        exec,
+				Interrupted: interruptAt >= 0,
+				InterruptAt: interruptAt,
+			})
 		}
 
 		if interruptAt < 0 {
@@ -346,20 +447,146 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			now = interruptAt
 			res.Replans++
 			res.Retried += len(requeue)
+			mReplans.Inc()
+			mRequeues.Add(uint64(len(requeue)))
 			ws.Completed = len(survived)
 			ws.Requeued = len(requeue)
 			ws.Interrupted = true
 			ws.End = now
 		}
 		res.Windows++
+		mWindows.Inc()
 		res.WindowStats = append(res.WindowStats, ws)
 	}
-	if now > res.Makespan {
-		res.Makespan = now
-	}
+	// Makespan is already the maximum completion time recorded above. The
+	// clock (now) may legitimately sit past it after failed-plan backoff or
+	// an idle jump, and that scheduler-side time must not be folded into
+	// Makespan — a previous version did, inflating it on runs whose final
+	// window retried after its last completion.
 	hits1, misses1 := s.planner.CacheStats()
 	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
+	res.Report = s.buildReport(res, n, &execAgg)
 	return res, nil
+}
+
+// maxRetryBackoff caps a single failed-plan backoff pause. Callers with a
+// base RetryBackoff above the cap keep their base (never pause shorter than
+// configured); what saturates is the exponential growth.
+const maxRetryBackoff = time.Second
+
+// retryBackoff returns the virtual-clock pause after the given failed
+// planning attempt: base doubled per attempt, saturating at
+// max(base, maxRetryBackoff). The saturation replaces a raw base<<attempt,
+// which overflows time.Duration around attempt 45 and moved the virtual
+// clock backwards under large MaxRetries budgets.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	ceiling := maxRetryBackoff
+	if base > ceiling {
+		ceiling = base
+	}
+	b := base
+	for i := 0; i < attempt && b < ceiling; i++ {
+		b <<= 1
+	}
+	if b > ceiling {
+		b = ceiling
+	}
+	return b
+}
+
+// execAggregate accumulates executor results across a run's windows for the
+// run report. Interrupted windows fold in as executed: their discarded tail
+// still describes work the SoC performed before the interrupt on the
+// simulated timeline.
+type execAggregate struct {
+	slices  int
+	bubble  time.Duration
+	stalls  int
+	peakMem int64
+	slowSum float64
+	slowMax float64
+	slowN   int
+}
+
+func (a *execAggregate) fold(r *pipeline.Result) {
+	a.slices += len(r.Timeline)
+	a.bubble += r.BubbleTime
+	a.stalls += r.AdmissionStalls
+	if r.PeakMemoryBytes > a.peakMem {
+		a.peakMem = r.PeakMemoryBytes
+	}
+	for _, e := range r.Timeline {
+		a.slowSum += e.Slowdown
+		a.slowN++
+		if e.Slowdown > a.slowMax {
+			a.slowMax = e.Slowdown
+		}
+	}
+}
+
+// buildReport assembles the structured run report from the finished Result.
+// Every figure mirrors a Result field exactly (the acceptance invariant the
+// obs tests pin); the per-layer breakdowns add only derived ratios and
+// unit conversions.
+func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *obs.RunReport {
+	rep := &obs.RunReport{
+		SoC:           s.planner.SoC().Name,
+		Requests:      requests,
+		Completed:     len(res.Completions),
+		MakespanMS:    durMS(res.Makespan),
+		MeanSojournMS: durMS(res.MeanSojourn()),
+		P95SojournMS:  durMS(res.P95Sojourn()),
+		Planner: obs.PlannerReport{
+			CacheHits:   res.CacheHits,
+			CacheMisses: res.CacheMisses,
+		},
+		Executor: obs.ExecutorReport{
+			Slices:          agg.slices,
+			BubbleMS:        durMS(agg.bubble),
+			AdmissionStalls: agg.stalls,
+			PeakMemoryBytes: agg.peakMem,
+			MaxSlowdown:     agg.slowMax,
+		},
+		Stream: obs.StreamReport{
+			Windows:        res.Windows,
+			Replans:        res.Replans,
+			Requeues:       res.Retried,
+			PlanRetries:    res.PlanRetries,
+			DeadlineMisses: res.DeadlineMisses,
+			EventsApplied:  res.EventsApplied,
+		},
+	}
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		rep.Planner.CacheHitRatio = float64(res.CacheHits) / float64(total)
+	}
+	if agg.slowN > 0 {
+		rep.Executor.MeanSlowdown = agg.slowSum / float64(agg.slowN)
+	}
+	for i, ws := range res.WindowStats {
+		rep.Planner.PlanWallMS += durMS(ws.PlanWall)
+		rep.Planner.DPCells += ws.DPCells
+		rep.Windows = append(rep.Windows, obs.WindowReport{
+			Index:       i,
+			StartMS:     durMS(ws.Start),
+			EndMS:       durMS(ws.End),
+			PlanWallMS:  durMS(ws.PlanWall),
+			ExecMS:      durMS(ws.ExecSpan),
+			Requests:    ws.Requests,
+			Completed:   ws.Completed,
+			Requeued:    ws.Requeued,
+			PlanRetries: ws.PlanRetries,
+			CacheHits:   ws.CacheHits,
+			CacheMisses: ws.CacheMisses,
+			DPCells:     ws.DPCells,
+			Interrupted: ws.Interrupted,
+		})
+	}
+	return rep
+}
+
+// durMS converts a duration to float milliseconds for the report.
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // planWindow plans one window's models, with or without Appendix-D

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hetero2pipe/internal/stream"
+)
+
+// Stream-run Chrome-trace export: every executed planning window rendered
+// on absolute virtual time, one track per processor. Interrupted windows
+// appear as distinct segments — committed slices carry the window index and
+// status "completed", while work discarded at the interrupt is clipped to
+// the interrupt instant, renamed with a "(discarded)" suffix and marked
+// status "discarded", so a replanned window is visually separate from the
+// aborted attempt it replaces. Each interrupt additionally emits an instant
+// ("i") event on every track at the cut point.
+
+// StreamChrome renders the window traces of a stream run (collected under
+// stream.Config.CollectWindowTraces) as trace-event JSON.
+func StreamChrome(windows []stream.WindowTrace) ([]byte, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("trace: no window traces (run with CollectWindowTraces)")
+	}
+	soc := windows[0].Schedule.SoC
+	events := make([]chromeEvent, 0, len(windows)*8)
+	for k := 0; k < soc.NumProcessors(); k++ {
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   k,
+			Args:  map[string]string{"name": soc.Processors[k].ID},
+		})
+	}
+
+	for _, w := range windows {
+		// committed[r] reports whether request r's completion stood: in an
+		// uninterrupted window everything commits; in an interrupted one
+		// only requests finishing at or before the cut.
+		committed := func(r int) bool {
+			if !w.Interrupted {
+				return true
+			}
+			return w.Start+w.Exec.Completions[r] <= w.InterruptAt
+		}
+		for _, e := range w.Exec.Timeline {
+			start := w.Start + e.Start
+			end := w.Start + e.End
+			m := w.Schedule.Profiles[e.Request].Model()
+			name := m.Name
+			status := "completed"
+			if !committed(e.Request) {
+				status = "discarded"
+				name += " (discarded)"
+				// Clip discarded work to the interrupt: nothing past the cut
+				// ever ran on the (virtual) hardware.
+				if start >= w.InterruptAt {
+					continue
+				}
+				if end > w.InterruptAt {
+					end = w.InterruptAt
+				}
+			}
+			r := w.Schedule.Stages[e.Request][e.Stage]
+			events = append(events, chromeEvent{
+				Name:      name,
+				Phase:     "X",
+				TsMicros:  micros(start),
+				DurMicros: micros(end - start),
+				PID:       1,
+				TID:       e.Stage,
+				Args: map[string]string{
+					"window":   fmt.Sprintf("%d", w.Window),
+					"request":  fmt.Sprintf("%d", e.Request),
+					"layers":   fmt.Sprintf("[%d,%d]", r.From, r.To),
+					"slowdown": fmt.Sprintf("%.3f", e.Slowdown),
+					"status":   status,
+				},
+			})
+		}
+		if w.Interrupted {
+			for k := 0; k < soc.NumProcessors(); k++ {
+				events = append(events, chromeEvent{
+					Name:     "interrupt",
+					Phase:    "i",
+					TsMicros: micros(w.InterruptAt),
+					PID:      1,
+					TID:      k,
+					Args:     map[string]string{"window": fmt.Sprintf("%d", w.Window)},
+				})
+			}
+		}
+	}
+	return json.MarshalIndent(events, "", "  ")
+}
+
+// micros converts a duration to fractional microseconds, the trace format's
+// time unit. Fractional precision keeps sub-microsecond slices visible.
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stream"
+	"hetero2pipe/internal/workload"
+)
+
+// interruptedStreamRun produces a run with at least one interrupted and one
+// completed window, traces collected.
+func interruptedStreamRun(t *testing.T) *stream.Result {
+	t.Helper()
+	names := []string{
+		model.ResNet50, model.GoogLeNet, model.BERT,
+		model.ResNet50, model.GoogLeNet, model.BERT,
+	}
+	models, err := workload.Instantiate(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]stream.Request, len(models))
+	for i, m := range models {
+		reqs[i] = stream.Request{Model: m}
+	}
+	run := func(cfg stream.Config) *stream.Result {
+		pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := stream.NewScheduler(pl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(reqs, pipeline.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cfg := stream.DefaultConfig()
+	cfg.CollectWindowTraces = true
+	base := run(cfg)
+	cfg.Events = []soc.Event{
+		{Kind: soc.EventProcessorOffline, Processor: "npu", At: base.WindowStats[0].End / 3},
+	}
+	res := run(cfg)
+	if res.Replans == 0 {
+		t.Fatal("scenario produced no interrupted window")
+	}
+	return res
+}
+
+// chromeEventView mirrors the emitted JSON shape for assertions.
+type chromeEventView struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+func TestObsStreamChrome(t *testing.T) {
+	res := interruptedStreamRun(t)
+	raw, err := StreamChrome(res.WindowTraces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEventView
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("output is not valid trace-event JSON: %v", err)
+	}
+
+	var meta, slices, discarded, instants int
+	windowsSeen := map[string]bool{}
+	var interruptUS float64
+	for _, wt := range res.WindowTraces {
+		if wt.Interrupted {
+			interruptUS = float64(wt.InterruptAt.Nanoseconds()) / 1e3
+			break
+		}
+	}
+	for _, e := range events {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "i":
+			instants++
+			if e.Ts != interruptUS {
+				t.Errorf("instant event at %v µs, want interrupt at %v µs", e.Ts, interruptUS)
+			}
+		case "X":
+			slices++
+			if e.Dur < 0 {
+				t.Errorf("negative duration slice %+v", e)
+			}
+			windowsSeen[e.Args["window"]] = true
+			if e.Args["status"] == "discarded" {
+				discarded++
+				if !strings.HasSuffix(e.Name, "(discarded)") {
+					t.Errorf("discarded slice not suffixed: %q", e.Name)
+				}
+				if e.Ts+e.Dur > interruptUS+0.001 {
+					t.Errorf("discarded slice extends past interrupt: ends %v > %v", e.Ts+e.Dur, interruptUS)
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if meta != soc.Kirin990().NumProcessors() {
+		t.Errorf("thread_name metadata events = %d, want %d", meta, soc.Kirin990().NumProcessors())
+	}
+	if slices == 0 {
+		t.Fatal("no slice events emitted")
+	}
+	if discarded == 0 {
+		t.Error("interrupted run emitted no discarded segments")
+	}
+	if instants == 0 {
+		t.Error("no interrupt instant events emitted")
+	}
+	// Interrupted windows must render as distinct track segments: slices
+	// tagged with more than one window index.
+	if len(windowsSeen) < 2 {
+		t.Errorf("slices span %d window(s), want ≥ 2 (replanned window separate)", len(windowsSeen))
+	}
+}
+
+func TestObsStreamChromeEmpty(t *testing.T) {
+	if _, err := StreamChrome(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+// TestObsStreamChromeUninterrupted: a clean run emits only completed
+// segments and no instants.
+func TestObsStreamChromeUninterrupted(t *testing.T) {
+	models, err := workload.Instantiate([]string{model.ResNet50, model.SqueezeNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]stream.Request, len(models))
+	for i, m := range models {
+		reqs[i] = stream.Request{Model: m, Arrival: time.Duration(i) * time.Millisecond}
+	}
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.DefaultConfig()
+	cfg.CollectWindowTraces = true
+	s, err := stream.NewScheduler(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(reqs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := StreamChrome(res.WindowTraces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEventView
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Phase == "i" {
+			t.Errorf("uninterrupted run emitted instant event %+v", e)
+		}
+		if e.Args["status"] == "discarded" {
+			t.Errorf("uninterrupted run emitted discarded slice %+v", e)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hetero2pipe
 
 import (
 	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/soc"
 	"hetero2pipe/internal/stream"
 )
@@ -11,6 +12,7 @@ import (
 type config struct {
 	planner core.Options
 	stream  stream.Config
+	metrics *obs.Registry
 }
 
 func defaultConfig() config {
@@ -54,6 +56,17 @@ func WithMaxBatch(n int) Option {
 // own. Build events directly or parse them with ParseEvents.
 func WithDegradationEvents(events ...Event) Option {
 	return optionFunc(func(c *config) { c.stream.Events = append([]soc.Event(nil), events...) })
+}
+
+// WithMetrics attaches a metrics registry to the system: the planner
+// (plan wall-time, DP cells, cache hit ratio), the executor (slices,
+// slowdown distribution, bubble time, admission stalls, peak memory) and
+// the stream scheduler (per-window latency, replans, requeues, deadline
+// misses) all record into it. Snapshot the registry at any time, or
+// export it with WritePrometheus / PublishExpvar. Nil disables metrics
+// (the default); instruments on a nil registry are no-ops.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return optionFunc(func(c *config) { c.metrics = reg })
 }
 
 // WithPlannerOptions replaces the full planner configuration — the escape
