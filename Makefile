@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs bench fuzz fuzz-degrade
+.PHONY: check build vet test race diff degrade obs serve-test bench bench-diff fuzz fuzz-degrade
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade obs
+check: vet build race diff degrade obs serve-test
 
 build:
 	$(GO) build ./...
@@ -37,10 +37,26 @@ degrade:
 obs:
 	$(GO) test -race -count=1 -run Obs ./internal/obs/ ./internal/pipeline/ ./internal/stream/ ./internal/trace/ ./cmd/h2pipe/ ./cmd/benchjson/ .
 
+## serve-test: the live-observability suite under the race detector — the
+## HTTP server e2e (healthz/readyz/metrics/windows/SSE/pprof/spans), the
+## span tracer and ring, the window feed, and the span→Chrome-trace
+## equivalence tests.
+serve-test:
+	$(GO) test -race -count=1 -run 'TestServeObs|TestSpan|TestAttr|TestWriteOTLP|TestFeed' \
+		./internal/obs/ ./internal/stream/ ./internal/trace/ .
+
 ## bench: five interleaved repetitions with allocation stats, archived as
 ## machine-readable JSON (BENCH_<date>.json) for regression tracking.
 bench:
 	$(GO) test -bench . -benchmem -count=5 -run xxx . | $(GO) run ./cmd/benchjson | tee BENCH_$(shell date +%Y-%m-%d).json
+
+## bench-diff: guard against performance regressions — compare the two most
+## recent BENCH_*.json archives (override with OLD=/NEW=) and fail on a
+## >10% ns/op or allocs/op regression.
+bench-diff:
+	$(eval OLD ?= $(shell ls BENCH_*.json | sort | tail -2 | head -1))
+	$(eval NEW ?= $(shell ls BENCH_*.json | sort | tail -1))
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 ## fuzz: a short run of the parallel-vs-sequential differential fuzz target.
 fuzz:

@@ -1,0 +1,209 @@
+// Command benchdiff compares two benchmark archives produced by
+// cmd/benchjson and reports per-benchmark deltas in ns/op and allocs/op:
+//
+//	go run ./cmd/benchdiff BENCH_old.json BENCH_new.json
+//
+// Repeated runs of the same benchmark (-count > 1) are collapsed to their
+// best (minimum) ns/op and allocs/op before comparison — the best run is
+// the least noisy estimate of the code's cost. The exit status is non-zero
+// when any benchmark regresses by more than the threshold (default 10%),
+// so `make bench-diff` doubles as a CI overhead guard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// benchResult mirrors cmd/benchjson's output schema.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// best is one benchmark's collapsed cost: the minimum observed ns/op and
+// allocs/op across repetitions.
+type best struct {
+	ns     float64
+	allocs int64
+}
+
+// delta is one compared benchmark row.
+type delta struct {
+	name             string
+	oldNs, newNs     float64
+	nsPct            float64 // (new-old)/old * 100
+	oldAllocs        int64
+	newAllocs        int64
+	allocsPct        float64
+	missingInOld     bool
+	missingInNew     bool
+	regressed        bool
+	regressionDetail string
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold PCT] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldSet, err := loadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newSet, err := loadFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	deltas := compare(oldSet, newSet, *threshold)
+	printReport(os.Stdout, deltas, *threshold)
+	for _, d := range deltas {
+		if d.regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func loadFile(path string) (map[string]best, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return set, nil
+}
+
+// load parses a benchjson archive and collapses repetitions to their best
+// run per benchmark name.
+func load(r io.Reader) (map[string]best, error) {
+	var results []benchResult
+	if err := json.NewDecoder(r).Decode(&results); err != nil {
+		return nil, err
+	}
+	set := make(map[string]best, len(results))
+	for _, b := range results {
+		cur, seen := set[b.Name]
+		if !seen {
+			set[b.Name] = best{ns: b.NsPerOp, allocs: b.AllocsPerOp}
+			continue
+		}
+		if b.NsPerOp < cur.ns {
+			cur.ns = b.NsPerOp
+		}
+		if b.AllocsPerOp < cur.allocs {
+			cur.allocs = b.AllocsPerOp
+		}
+		set[b.Name] = cur
+	}
+	return set, nil
+}
+
+// compare joins the two sets by benchmark name. Benchmarks present on only
+// one side are reported but never count as regressions — new benchmarks
+// appear as code grows, and renames should not fail the guard.
+func compare(oldSet, newSet map[string]best, threshold float64) []delta {
+	names := make([]string, 0, len(oldSet)+len(newSet))
+	seen := map[string]bool{}
+	for n := range oldSet {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range newSet {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	deltas := make([]delta, 0, len(names))
+	for _, name := range names {
+		o, inOld := oldSet[name]
+		n, inNew := newSet[name]
+		d := delta{name: name, missingInOld: !inOld, missingInNew: !inNew}
+		if inOld {
+			d.oldNs, d.oldAllocs = o.ns, o.allocs
+		}
+		if inNew {
+			d.newNs, d.newAllocs = n.ns, n.allocs
+		}
+		if inOld && inNew {
+			d.nsPct = pctChange(o.ns, n.ns)
+			d.allocsPct = pctChange(float64(o.allocs), float64(n.allocs))
+			switch {
+			case d.nsPct > threshold:
+				d.regressed = true
+				d.regressionDetail = fmt.Sprintf("ns/op +%.1f%%", d.nsPct)
+			case d.allocsPct > threshold:
+				d.regressed = true
+				d.regressionDetail = fmt.Sprintf("allocs/op +%.1f%%", d.allocsPct)
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// pctChange is the relative change from old to new in percent; a zero old
+// value with a non-zero new value reports +Inf-like 100% per unit to stay
+// finite and still trip the threshold.
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+func printReport(w io.Writer, deltas []delta, threshold float64) {
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %8s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns Δ%", "old alc", "new alc", "alc Δ%")
+	regressions := 0
+	for _, d := range deltas {
+		switch {
+		case d.missingInOld:
+			fmt.Fprintf(w, "%-52s %14s %14.1f %8s %8s %8d %8s\n",
+				d.name, "-", d.newNs, "new", "-", d.newAllocs, "new")
+		case d.missingInNew:
+			fmt.Fprintf(w, "%-52s %14.1f %14s %8s %8d %8s %8s\n",
+				d.name, d.oldNs, "-", "gone", d.oldAllocs, "-", "gone")
+		default:
+			mark := ""
+			if d.regressed {
+				mark = "  << REGRESSION " + d.regressionDetail
+				regressions++
+			}
+			fmt.Fprintf(w, "%-52s %14.1f %14.1f %+7.1f%% %8d %8d %+7.1f%%%s\n",
+				d.name, d.oldNs, d.newNs, d.nsPct, d.oldAllocs, d.newAllocs, d.allocsPct, mark)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond %.0f%%\n", threshold)
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,6 +33,7 @@ import (
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/model"
 	"hetero2pipe/internal/obs"
+	"hetero2pipe/internal/obs/server"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
@@ -69,6 +72,9 @@ func run(ctx context.Context, args []string) error {
 		window     = fs.Int("window", 8, "max requests per planning window in -stream mode")
 		report     = fs.Bool("report", false, "print a structured JSON run report on stdout")
 		metricsOut = fs.String("metrics", "", "write the metrics registry in Prometheus text format to a file")
+		serveAddr  = fs.String("serve", "", "serve live observability HTTP (/metrics, /vars, /debug/pprof, /healthz, /readyz, /windows, /spans) on this address; keeps serving after the run until Ctrl-C")
+		logLevel   = fs.String("log-level", "", "structured logging to stderr at this level: debug, info, warn or error (empty disables)")
+		spansOut   = fs.String("spans", "", "record a span trace of the run and write it as OTLP JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,21 +123,63 @@ func run(ctx context.Context, args []string) error {
 	opts.WorkStealing = !*noSteal
 	opts.TailOptimization = !*noTail
 	var reg *obs.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		reg = obs.NewRegistry("h2pipe")
 		opts.Metrics = reg
 	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	opts.Logger = logger
+	var rec *obs.SpanRecorder
+	if *spansOut != "" || *serveAddr != "" {
+		rec = obs.NewSpanRecorder(0)
+		ctx = obs.ContextWithRecorder(ctx, rec)
+	}
+	feed := stream.NewFeed(0)
+
+	// The observability server runs alongside the workload and keeps serving
+	// after it completes, so the run's metrics, spans and windows stay
+	// curl-able until the process is interrupted.
+	srvDone := make(chan error, 1)
+	waitServe := func() error { return nil }
+	if *serveAddr != "" {
+		go func() {
+			srvDone <- server.Serve(ctx, *serveAddr, server.Config{
+				Metrics: reg,
+				Spans:   rec,
+				Feed:    feed,
+				Service: s.Name,
+			}, func(a net.Addr) {
+				fmt.Printf("observability server on http://%s\n", a)
+			})
+		}()
+		waitServe = func() error {
+			fmt.Println("observability server still serving; Ctrl-C to exit")
+			return <-srvDone
+		}
+	}
+
 	planner, err := core.NewPlanner(s, opts)
 	if err != nil {
 		return err
 	}
 	if *streamMode {
-		return runStream(ctx, planner, models, events, *gap, *window, streamOutputs{
+		if err := runStream(ctx, planner, models, events, *gap, *window, streamOutputs{
 			report:     *report,
 			metricsOut: *metricsOut,
 			traceOut:   *traceOut,
+			spansOut:   *spansOut,
 			registry:   reg,
-		})
+			logger:     logger,
+			feed:       feed,
+			spans:      rec,
+			service:    s.Name,
+		}); err != nil {
+			return err
+		}
+		return waitServe()
 	}
 	// Without -stream, events apply immediately (their timestamps are
 	// ignored): plan against the already-degraded SoC.
@@ -151,9 +199,15 @@ func run(ctx context.Context, args []string) error {
 	planWall := time.Since(planStart)
 	execOpts := pipeline.DefaultOptions()
 	execOpts.Metrics = reg
+	execOpts.Logger = logger
 	res, err := pipeline.ExecuteContext(ctx, plan.Schedule, execOpts)
 	if err != nil {
 		return err
+	}
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, rec, s.Name); err != nil {
+			return err
+		}
 	}
 
 	if *report {
@@ -247,6 +301,45 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("wrote HTML report to %s\n", *htmlOut)
 	}
+	return waitServe()
+}
+
+// buildLogger maps a -log-level value to a text slog.Logger on stderr, or
+// nil (logging disabled) for the empty string.
+func buildLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// writeSpans dumps the span ring as an OTLP/JSON trace document.
+func writeSpans(path string, rec *obs.SpanRecorder, service string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteOTLP(f, rec, service); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote OTLP spans to %s\n", path)
 	return nil
 }
 
@@ -256,7 +349,12 @@ type streamOutputs struct {
 	report     bool
 	metricsOut string
 	traceOut   string
+	spansOut   string
 	registry   *obs.Registry
+	logger     *slog.Logger
+	feed       *stream.Feed
+	spans      *obs.SpanRecorder
+	service    string
 }
 
 // runStream replays the models as a Poisson arrival stream with per-window
@@ -267,14 +365,23 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 	cfg.Events = events
 	cfg.Metrics = out.registry
 	cfg.CollectWindowTraces = out.traceOut != ""
+	cfg.Logger = out.logger
+	cfg.Feed = out.feed
 	sched, err := stream.NewScheduler(planner, cfg)
 	if err != nil {
 		return err
 	}
 	requests := stream.PoissonArrivals(models, gap, 7)
-	res, err := sched.RunContext(ctx, requests, pipeline.DefaultOptions())
+	execOpts := pipeline.DefaultOptions()
+	execOpts.Logger = out.logger
+	res, err := sched.RunContext(ctx, requests, execOpts)
 	if err != nil {
 		return err
+	}
+	if out.spansOut != "" {
+		if err := writeSpans(out.spansOut, out.spans, out.service); err != nil {
+			return err
+		}
 	}
 	if out.report {
 		raw, err := res.Report.JSON()

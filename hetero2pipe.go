@@ -28,6 +28,9 @@ type System struct {
 	soc     *soc.SoC
 	planner *core.Planner
 	cfg     config
+	// feed is the live window outlet shared by every RunStream call and the
+	// observability server's /windows and /readyz endpoints.
+	feed *stream.Feed
 }
 
 // NewSystem builds a System for a preset SoC name ("Kirin990",
@@ -58,11 +61,18 @@ func NewSystemFor(s *soc.SoC, opts ...Option) (*System, error) {
 		cfg.planner.Metrics = cfg.metrics
 		cfg.stream.Metrics = cfg.metrics
 	}
+	if cfg.logger != nil {
+		// Same fan-out for the structured logger.
+		cfg.planner.Logger = cfg.logger
+		cfg.stream.Logger = cfg.logger
+	}
+	feed := stream.NewFeed(0)
+	cfg.stream.Feed = feed
 	planner, err := core.NewPlanner(s, cfg.planner)
 	if err != nil {
 		return nil, err
 	}
-	return &System{soc: s, planner: planner, cfg: cfg}, nil
+	return &System{soc: s, planner: planner, cfg: cfg, feed: feed}, nil
 }
 
 // SoC returns the system's SoC description.
@@ -145,12 +155,14 @@ func (sys *System) RunModels(models []*model.Model) (*Result, error) {
 
 // RunModelsContext is RunModels under a cancellable context.
 func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) (*Result, error) {
+	ctx = obs.ContextWithRecorder(ctx, sys.cfg.spans)
 	plan, err := sys.planner.PlanModelsContext(ctx, models)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
 	execOpts := pipeline.DefaultOptions()
 	execOpts.Metrics = sys.cfg.metrics
+	execOpts.Logger = sys.cfg.logger
 	exec, err := pipeline.ExecuteContext(ctx, plan.Schedule, execOpts)
 	if err != nil {
 		return nil, wrapRunErr(err)
@@ -298,11 +310,20 @@ func (sys *System) RunStreamContext(ctx context.Context, requests []StreamReques
 	if cfg.Metrics == nil {
 		cfg.Metrics = sys.cfg.stream.Metrics
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = sys.cfg.stream.Logger
+	}
+	if cfg.Feed == nil {
+		cfg.Feed = sys.feed
+	}
 	sched, err := stream.NewScheduler(sys.planner, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sched.RunContext(ctx, requests, pipeline.DefaultOptions())
+	ctx = obs.ContextWithRecorder(ctx, sys.cfg.spans)
+	execOpts := pipeline.DefaultOptions()
+	execOpts.Logger = cfg.Logger
+	res, err := sched.RunContext(ctx, requests, execOpts)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}

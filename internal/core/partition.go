@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
@@ -120,11 +121,21 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 	}
 	choice[0][0] = 0
 
+	// One child span per DP stage row when tracing is armed. The nil check
+	// (not just StartChild's internal one) keeps the untraced path from
+	// allocating the attribute slice on every row.
+	rowParent := obs.SpanFromContext(ctx)
 	for stage := 1; stage < k; stage++ {
+		var row *obs.Span
+		if rowParent != nil {
+			row = rowParent.StartChild("dp_row",
+				obs.Int("stage", int64(stage)), obs.Int("layers", int64(n)))
+		}
 		dp[0] = prev[0] // empty prefix stays empty
 		choice[stage][0] = 0
 		for j := 0; j < n; j++ {
 			if j%cancelCheckStride == 0 && ctx.Err() != nil {
+				row.End()
 				return nil, 0, cells, cancelErr(ctx)
 			}
 			var bestI int
@@ -138,6 +149,7 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 			choice[stage][j+1] = bestI
 			cells++
 		}
+		row.End()
 		dp, prev = prev, dp
 	}
 	best := prev[n]

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -56,6 +57,10 @@ type Options struct {
 	// the planner leaves it nil so its internal candidate evaluations do
 	// not pollute executor metrics (see DESIGN.md §9).
 	Metrics *obs.Registry
+	// Logger, when set, receives a debug record per completed plan (wall
+	// time, cache traffic) carrying the active plan span id under the "span"
+	// key when tracing is armed. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the full Hetero²Pipe configuration.
@@ -120,11 +125,19 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 func (pl *Planner) DPCells() uint64 { return pl.dpCells.Load() }
 
 // partition runs the Algorithm-1 DP for one profile while accumulating the
-// evaluated-cell count into the planner's lifetime counter and registry.
+// evaluated-cell count into the planner's lifetime counter and registry. The
+// DP runs under a "partition" span whose children are the per-stage dp_row
+// spans partitionTable emits.
 func (pl *Planner) partition(ctx context.Context, p *profile.Profile) (pipeline.Cuts, float64, error) {
+	var sp *obs.Span
+	if obs.TracingEnabled(ctx) {
+		ctx, sp = obs.StartSpan(ctx, "partition", obs.Str("model", p.Model().Name))
+	}
 	choice, best, cells, err := partitionTable(ctx, p, false)
 	pl.dpCells.Add(cells)
 	pl.mDPCells.Add(cells)
+	sp.SetAttrs(obs.Int("dp_cells", int64(cells)))
+	sp.End()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -196,15 +209,37 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 	return pl.PlanProfilesContext(context.Background(), profiles)
 }
 
-// PlanProfilesContext is PlanProfiles under a cancellable context.
+// PlanProfilesContext is PlanProfiles under a cancellable context. Each call
+// runs under a "plan" span carrying the cache-traffic delta of this plan
+// (hits on cost tables reused from earlier plans, misses on fresh
+// measurements) and emits one debug log record when a logger is configured.
 func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.Profile) (*Plan, error) {
 	start := time.Now()
+	hits0, misses0 := pl.CacheStats()
+	var sp *obs.Span
+	if obs.TracingEnabled(ctx) {
+		ctx, sp = obs.StartSpan(ctx, "plan", obs.Int("profiles", int64(len(profiles))))
+	}
 	plan, err := pl.planProfiles(ctx, profiles)
+	hits1, misses1 := pl.CacheStats()
+	if sp != nil {
+		sp.SetAttrs(
+			obs.Int("cache_hits", int64(hits1-hits0)),
+			obs.Int("cache_misses", int64(misses1-misses0)))
+		sp.End()
+	}
 	if err != nil {
 		return nil, err
 	}
+	wall := time.Since(start)
 	pl.mPlans.Inc()
-	pl.mPlanSeconds.ObserveDuration(time.Since(start))
+	pl.mPlanSeconds.ObserveDuration(wall)
+	if pl.opts.Logger != nil {
+		pl.opts.Logger.Log(ctx, slog.LevelDebug, "plan complete",
+			"profiles", len(profiles), "wall", wall,
+			"cache_hits", hits1-hits0, "cache_misses", misses1-misses0,
+			"span", sp.IDHex())
+	}
 	return plan, nil
 }
 

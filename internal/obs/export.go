@@ -42,7 +42,7 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		cum := uint64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Buckets[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, formatFloat(bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", full, escapeLabel(formatFloat(bound)), cum); err != nil {
 				return err
 			}
 		}
@@ -105,4 +105,34 @@ func sanitize(name string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline — and only those, unlike Go's
+// %q which also escapes non-ASCII runes the format permits verbatim.
+func escapeLabel(v string) string {
+	needs := false
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return v
+	}
+	out := make([]byte, 0, len(v)+4)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
 }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestObsGaugeMaxConcurrent hammers Gauge.Max from many goroutines under
+// the race detector: the CAS loop must converge on the global maximum and
+// never lose a larger value to a smaller late writer.
+func TestObsGaugeMaxConcurrent(t *testing.T) {
+	var g Gauge
+	const workers, each = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				// Every worker submits a distinct interleaved sequence; the
+				// global maximum across all of them is workers*each.
+				g.Max(float64(i*workers + w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*each); got != want {
+		t.Errorf("concurrent Max converged on %v, want %v", got, want)
+	}
+	// A smaller value afterwards must not lower it.
+	g.Max(1)
+	if got := g.Value(); got != float64(workers*each) {
+		t.Errorf("Max(1) lowered the gauge to %v", got)
+	}
+}
+
+func snapshotHist(bounds []float64, values ...float64) HistogramSnapshot {
+	r := NewRegistry("q")
+	h := r.Histogram("h", bounds)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return r.Snapshot().Histograms["h"]
+}
+
+// TestObsQuantileUniform pins the interpolation on a uniform distribution:
+// 100 observations spread evenly over [0,100) with bounds every 10 — the
+// q-quantile must land at 100q exactly.
+func TestObsQuantileUniform(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	var values []float64
+	for i := 0; i < 100; i++ {
+		values = append(values, float64(i)+0.5)
+	}
+	h := snapshotHist(bounds, values...)
+	for _, c := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {0.10, 10}, {1, 100},
+	} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("uniform q=%.2f: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestObsQuantilePointMass pins the estimator on a distribution
+// concentrated in one bucket: every quantile interpolates inside that
+// bucket's edges.
+func TestObsQuantilePointMass(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	// 10 observations, all in the (2,4] bucket.
+	var values []float64
+	for i := 0; i < 10; i++ {
+		values = append(values, 3)
+	}
+	h := snapshotHist(bounds, values...)
+	// rank = 10q, bucket holds all 10 from lower edge 2 to upper 4:
+	// quantile = 2 + 2q.
+	for _, c := range []struct{ q, want float64 }{
+		{0.5, 3}, {0.25, 2.5}, {1, 4},
+	} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("point-mass q=%.2f: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestObsQuantileInfClamp pins the +Inf bucket behaviour: ranks beyond the
+// last finite bound clamp to it instead of extrapolating.
+func TestObsQuantileInfClamp(t *testing.T) {
+	h := snapshotHist([]float64{1, 2}, 0.5, 1.5, 100, 200, 300)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("q=0.99 with most mass past the last bound: got %v, want the clamp 2", got)
+	}
+}
+
+// TestObsQuantileEdgeCases covers the degenerate inputs: empty histograms
+// report zero, and out-of-range q clamps to [0,1].
+func TestObsQuantileEdgeCases(t *testing.T) {
+	empty := snapshotHist([]float64{1, 2})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile %v, want 0", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("zero-value snapshot quantile %v, want 0", got)
+	}
+	h := snapshotHist([]float64{10}, 5, 5, 5, 5)
+	if lo, hi := h.Quantile(-3), h.Quantile(7); lo != h.Quantile(0) || hi != h.Quantile(1) {
+		t.Errorf("q outside [0,1] did not clamp: q=-3→%v q=7→%v", lo, hi)
+	}
+	qs := h.Quantiles(0.5, 0.95)
+	if len(qs) != 2 || qs[0] != h.Quantile(0.5) || qs[1] != h.Quantile(0.95) {
+		t.Errorf("Quantiles batch %v disagrees with Quantile", qs)
+	}
+}
+
+// populate fills a registry with a representative mix of metric kinds.
+func populate(r *Registry) {
+	r.Counter("windows_total").Add(7)
+	r.Counter("replans_total").Inc()
+	r.Gauge("inflight").Set(3.25)
+	r.Gauge("peak_slowdown").Max(1.75)
+	h := r.Histogram("sojourn_seconds", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.02, 0.05, 0.5, 2.5} {
+		h.Observe(v)
+	}
+}
+
+// TestObsPrometheusDeterministic pins that serialization is a pure function
+// of the metric state: two registries built identically render byte-identical
+// text, and rendering the same registry twice is stable. Map iteration order
+// must never leak into the output (Prometheus scrapers diff text between
+// scrapes).
+func TestObsPrometheusDeterministic(t *testing.T) {
+	r1 := NewRegistry("det")
+	r2 := NewRegistry("det")
+	populate(r1)
+	populate(r2)
+
+	render := func(r *Registry) []byte {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(r1), render(r2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical registries render differently:\n%s\n----\n%s", a, b)
+	}
+	if again := render(r1); !bytes.Equal(a, again) {
+		t.Errorf("re-rendering the same registry changed the output:\n%s\n----\n%s", a, again)
+	}
+	for _, series := range []string{
+		"det_windows_total 7",
+		"det_inflight 3.25",
+		`det_sojourn_seconds_bucket{le="+Inf"} 5`,
+		"det_sojourn_seconds_count 5",
+	} {
+		if !bytes.Contains(a, []byte(series)) {
+			t.Errorf("output lacks %q:\n%s", series, a)
+		}
+	}
+}
+
+// TestObsEscapeLabel pins the Prometheus label escaping rules: exactly
+// backslash, double quote and newline are escaped; everything else —
+// including non-ASCII — passes through verbatim.
+func TestObsEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"µ-non-ascii™", "µ-non-ascii™"}, // permitted verbatim, unlike %q
+		{"\\\"\n", `\\\"\n`},             // all three, adjacent
+		{"a\\b\"c\nd", `a\\b\"c\nd`},     // interleaved
+		{"tab\tand\rcr", "tab\tand\rcr"}, // not in the escape set
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// The escaping shows up in rendered bucket labels via formatFloat — a
+	// float never needs escaping, so the le label must be the plain digits.
+	r := NewRegistry("esc")
+	r.Histogram("h", []float64{0.5}).Observe(0.1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_h_bucket{le="0.5"} 1`) {
+		t.Errorf("bucket label not rendered plainly:\n%s", buf.String())
+	}
+}

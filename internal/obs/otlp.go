@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// OTLP-shaped JSON export of the span ring: the structure mirrors the
+// OpenTelemetry OTLP/JSON trace payload (resourceSpans → scopeSpans →
+// spans, attributes as {key, value:{stringValue|intValue|doubleValue}},
+// ids hex-encoded, int64s as decimal strings per the proto3 JSON mapping)
+// so the file drops into OTLP-compatible tooling, while staying
+// dependency-free.
+
+type otlpPayload struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpAttr `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	ParentSpanID      string     `json:"parentSpanId,omitempty"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+func otlpAttrOf(a Attr) otlpAttr {
+	switch a.kind {
+	case attrInt:
+		v := strconv.FormatInt(a.i, 10)
+		return otlpAttr{Key: a.Key, Value: otlpValue{IntValue: &v}}
+	case attrFloat:
+		f := a.f
+		return otlpAttr{Key: a.Key, Value: otlpValue{DoubleValue: &f}}
+	default:
+		s := a.s
+		return otlpAttr{Key: a.Key, Value: otlpValue{StringValue: &s}}
+	}
+}
+
+// WriteOTLP renders the recorder's span ring as indented OTLP-shaped JSON.
+// The service name becomes the resource's service.name attribute. A nil
+// recorder writes an empty payload.
+func WriteOTLP(w io.Writer, r *SpanRecorder, service string) error {
+	spans := r.Spans()
+	out := make([]otlpSpan, 0, len(spans))
+	traceID := hexTraceID(r.TraceID())
+	for _, d := range spans {
+		sp := otlpSpan{
+			TraceID:           traceID,
+			SpanID:            hexID(d.ID),
+			Name:              d.Name,
+			Kind:              1, // SPAN_KIND_INTERNAL
+			StartTimeUnixNano: strconv.FormatInt(d.Start.UnixNano(), 10),
+			EndTimeUnixNano:   strconv.FormatInt(d.End.UnixNano(), 10),
+		}
+		if d.Parent != 0 {
+			sp.ParentSpanID = hexID(d.Parent)
+		}
+		for _, a := range d.Attrs {
+			sp.Attributes = append(sp.Attributes, otlpAttrOf(a))
+		}
+		out = append(out, sp)
+	}
+	payload := otlpPayload{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpAttr{otlpAttrOf(Str("service.name", service))}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "hetero2pipe/internal/obs"},
+			Spans: out,
+		}},
+	}}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+// hexTraceID renders a 64-bit trace seed as the 16-byte (32 hex digit)
+// OTLP trace id, seed in the low 8 bytes.
+func hexTraceID(id uint64) string {
+	var b [16]byte
+	for i := 15; i >= 8; i-- {
+		b[i] = byte(id)
+		id >>= 8
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,42 @@
+package obs
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation inside the containing bucket — the
+// same estimator Prometheus' histogram_quantile applies. The first bucket
+// interpolates from zero (the natural lower edge for the latency and
+// slowdown layouts, whose values are non-negative); ranks landing in the
+// +Inf bucket clamp to the last finite bound, since there is no upper edge
+// to interpolate toward. An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	lower := 0.0
+	for i, upper := range h.Bounds {
+		c := float64(h.Buckets[i])
+		if c > 0 && cum+c >= rank {
+			return lower + (upper-lower)*((rank-cum)/c)
+		}
+		cum += c
+		lower = upper
+	}
+	// Rank falls in the +Inf bucket: clamp to the largest finite bound.
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Quantiles evaluates Quantile at each q, in order.
+func (h HistogramSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

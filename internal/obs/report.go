@@ -13,7 +13,9 @@ type RunReport struct {
 	Completed     int     `json:"completed"`
 	MakespanMS    float64 `json:"makespan_ms"`
 	MeanSojournMS float64 `json:"mean_sojourn_ms"`
+	P50SojournMS  float64 `json:"p50_sojourn_ms"`
 	P95SojournMS  float64 `json:"p95_sojourn_ms"`
+	P99SojournMS  float64 `json:"p99_sojourn_ms"`
 
 	Planner  PlannerReport  `json:"planner"`
 	Executor ExecutorReport `json:"executor"`

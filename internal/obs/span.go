@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing. A SpanRecorder is a lock-free bounded ring of finished
+// spans: StartSpan allocates a span linked to its parent through the
+// context, End records it into the ring, and exporters (WriteOTLP, the
+// trace.StreamChromeFromSpans converter, the /spans endpoint) read the ring
+// without stopping writers. Like the metric instruments, the whole API is
+// nil-safe: with no recorder in the context StartSpan returns a nil *Span
+// whose methods are no-ops, so instrumented hot paths pay only a context
+// lookup when tracing is disabled.
+//
+// Spans carry two clocks. Start/End are wall-clock times (what OTLP
+// exports); virtual-time instants from the simulated SoC clock travel as
+// duration attributes (vt_start, vt_end, ...) so the stream Chrome-trace
+// converter can rebuild the execution timeline exactly.
+
+// attrKind discriminates the value held by an Attr.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: attrString, s: v} }
+
+// Int returns an int64 attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, i: v} }
+
+// Float returns a float64 attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// Dur returns a duration attribute, stored as integer nanoseconds.
+func Dur(key string, d time.Duration) Attr { return Int(key, int64(d)) }
+
+// Bool returns a boolean attribute, stored as 0/1.
+func Bool(key string, v bool) Attr {
+	if v {
+		return Int(key, 1)
+	}
+	return Int(key, 0)
+}
+
+// AsString returns the string value ("" for non-string attrs).
+func (a Attr) AsString() string { return a.s }
+
+// AsInt returns the integer value (0 for non-int attrs).
+func (a Attr) AsInt() int64 { return a.i }
+
+// AsFloat returns the float value (0 for non-float attrs).
+func (a Attr) AsFloat() float64 { return a.f }
+
+// AsDuration returns the integer value as a duration.
+func (a Attr) AsDuration() time.Duration { return time.Duration(a.i) }
+
+// Text renders the value as a string regardless of kind.
+func (a Attr) Text() string {
+	switch a.kind {
+	case attrInt:
+		return strconv.FormatInt(a.i, 10)
+	case attrFloat:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	default:
+		return a.s
+	}
+}
+
+// SpanData is one finished span as stored in the recorder ring.
+type SpanData struct {
+	ID     uint64
+	Parent uint64 // 0 for a root span
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+}
+
+// Attr returns the first attribute with the given key.
+func (d SpanData) Attr(key string) (Attr, bool) {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// traceIDCounter mints one distinct trace id per recorder without a
+// wall-clock or randomness dependency.
+var traceIDCounter atomic.Uint64
+
+// SpanRecorder is a lock-free bounded ring of finished spans. Writers claim
+// a slot with one atomic add and publish with one atomic pointer store;
+// Spans snapshots the ring without blocking them. When more spans finish
+// than the ring holds, the oldest are overwritten.
+type SpanRecorder struct {
+	slots   []atomic.Pointer[SpanData]
+	written atomic.Uint64 // total spans recorded (monotone)
+	nextID  atomic.Uint64 // span-id allocator; ids start at 1
+	traceID uint64
+}
+
+// DefaultSpanCapacity is the ring size NewSpanRecorder applies to
+// non-positive capacities: enough for several full stream runs of slice
+// spans while bounding memory to a few MB.
+const DefaultSpanCapacity = 1 << 16
+
+// NewSpanRecorder returns a recorder whose ring holds capacity finished
+// spans (capacity ≤ 0 selects DefaultSpanCapacity).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanRecorder{
+		slots:   make([]atomic.Pointer[SpanData], capacity),
+		traceID: traceIDCounter.Add(1),
+	}
+}
+
+// Capacity reports the ring size (0 for a nil recorder).
+func (r *SpanRecorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total reports how many spans have finished over the recorder's lifetime,
+// including any the ring has since overwritten.
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.written.Load()
+}
+
+// TraceID returns the recorder's trace identifier (0 for nil).
+func (r *SpanRecorder) TraceID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.traceID
+}
+
+func (r *SpanRecorder) record(d *SpanData) {
+	i := r.written.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(d)
+}
+
+// Spans snapshots the ring's finished spans, oldest first. Under concurrent
+// writers the snapshot is a best-effort consistent view: each slot is read
+// with one atomic load.
+func (r *SpanRecorder) Spans() []SpanData {
+	if r == nil {
+		return nil
+	}
+	total := r.written.Load()
+	n := uint64(len(r.slots))
+	count := total
+	start := uint64(0)
+	if total > n {
+		count = n
+		start = total % n
+	}
+	out := make([]SpanData, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if d := r.slots[(start+i)%n].Load(); d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// Span is one in-flight span. A nil *Span is a valid no-op (the disabled
+// path), so callers never guard. A Span is owned by the goroutine that
+// started it; SetAttrs/End are not safe for concurrent use on one span.
+type Span struct {
+	rec    *SpanRecorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// ID returns the span id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// IDHex returns the span id as a 16-hex-digit string ("" for nil) — the
+// cross-reference carried by structured log records.
+func (s *Span) IDHex() string {
+	if s == nil {
+		return ""
+	}
+	return hexID(s.id)
+}
+
+// SetAttrs appends attributes to the span.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// StartChild starts a direct child span without threading a context — the
+// allocation-free fast path for per-item spans inside hot loops (executor
+// slices, DP rows). Returns nil when the receiver is nil.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		rec:    s.rec,
+		id:     s.rec.nextID.Add(1),
+		parent: s.id,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+}
+
+// End finishes the span and records it into the ring. Safe to call more
+// than once; only the first call records.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.record(&SpanData{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    time.Now(),
+		Attrs:  s.attrs,
+	})
+}
+
+type recorderCtxKey struct{}
+type spanCtxKey struct{}
+
+// ContextWithRecorder arms a context for tracing: spans started under it
+// record into r. A nil recorder returns ctx unchanged (tracing stays off).
+func ContextWithRecorder(ctx context.Context, r *SpanRecorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderCtxKey{}, r)
+}
+
+// RecorderFromContext returns the recorder armed on ctx, or nil.
+func RecorderFromContext(ctx context.Context) *SpanRecorder {
+	r, _ := ctx.Value(recorderCtxKey{}).(*SpanRecorder)
+	return r
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TracingEnabled reports whether spans started under ctx would record.
+// Hot paths (the partition DP, the executor's candidate evaluations) guard
+// with it so the disabled path never constructs the variadic attribute
+// slice — StartSpan's own nil-recorder check runs after the call site has
+// already allocated the attrs.
+func TracingEnabled(ctx context.Context) bool {
+	return SpanFromContext(ctx) != nil || RecorderFromContext(ctx) != nil
+}
+
+// StartSpan starts a span as a child of the context's active span (or as a
+// root span when none is active) and returns a context carrying it. With no
+// recorder armed on the context it returns (ctx, nil) — the disabled no-op
+// path.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	var rec *SpanRecorder
+	var parentID uint64
+	if parent != nil {
+		rec, parentID = parent.rec, parent.id
+	} else {
+		rec = RecorderFromContext(ctx)
+	}
+	if rec == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		rec:    rec,
+		id:     rec.nextID.Add(1),
+		parent: parentID,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// hexID renders a 64-bit id as 16 lowercase hex digits (the OTLP span-id
+// encoding).
+func hexID(id uint64) string {
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(id)
+		id >>= 8
+	}
+	return hex.EncodeToString(b[:])
+}

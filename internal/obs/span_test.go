@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	// No recorder on the context: StartSpan returns a nil span and every
+	// method on it must be a no-op.
+	ctx, sp := StartSpan(context.Background(), "root", Int("k", 1))
+	if sp != nil {
+		t.Fatalf("StartSpan without a recorder returned %v, want nil", sp)
+	}
+	sp.SetAttrs(Str("a", "b"))
+	sp.End()
+	if id := sp.ID(); id != 0 {
+		t.Errorf("nil span ID %d, want 0", id)
+	}
+	if h := sp.IDHex(); h != "" {
+		t.Errorf("nil span IDHex %q, want empty", h)
+	}
+	if child := sp.StartChild("child"); child != nil {
+		t.Errorf("nil span StartChild returned %v, want nil", child)
+	}
+	if got := SpanFromContext(ctx); got != nil {
+		t.Errorf("SpanFromContext after disabled StartSpan: %v, want nil", got)
+	}
+	var rec *SpanRecorder
+	if rec.Capacity() != 0 || rec.Total() != 0 || rec.TraceID() != 0 || rec.Spans() != nil {
+		t.Error("nil recorder accessors must report zero values")
+	}
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	rec := NewSpanRecorder(16)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	_, childA := StartSpan(ctx, "a")
+	childB := root.StartChild("b", Int("n", 7))
+	childB.End()
+	childA.End()
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root parent %d, want 0", byName["root"].Parent)
+	}
+	for _, name := range []string{"a", "b"} {
+		if byName[name].Parent != byName["root"].ID {
+			t.Errorf("%s parent %d, want root %d", name, byName[name].Parent, byName["root"].ID)
+		}
+	}
+	if a, ok := byName["b"].Attr("n"); !ok || a.AsInt() != 7 {
+		t.Errorf("b attr n = %v/%v, want 7", a, ok)
+	}
+	if byName["root"].End.Before(byName["root"].Start) {
+		t.Error("root span ends before it starts")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := NewSpanRecorder(8)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	_, sp := StartSpan(ctx, "once")
+	sp.End()
+	sp.End()
+	if got := rec.Total(); got != 1 {
+		t.Errorf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	const capacity = 8
+	rec := NewSpanRecorder(capacity)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	_, root := StartSpan(ctx, "root")
+	for i := 0; i < 20; i++ {
+		c := root.StartChild("child", Int("i", int64(i)))
+		c.End()
+	}
+	if got := rec.Total(); got != 20 {
+		t.Fatalf("Total %d, want 20", got)
+	}
+	spans := rec.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("snapshot holds %d spans, want the ring capacity %d", len(spans), capacity)
+	}
+	// Oldest-first: the survivors are children 12..19.
+	for i, s := range spans {
+		a, _ := s.Attr("i")
+		if want := int64(20 - capacity + i); a.AsInt() != want {
+			t.Errorf("slot %d holds child %d, want %d", i, a.AsInt(), want)
+		}
+	}
+}
+
+func TestSpanRecorderConcurrentWriters(t *testing.T) {
+	rec := NewSpanRecorder(64)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	_, root := StartSpan(ctx, "root")
+	const writers, each = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := root.StartChild("c")
+				sp.End()
+			}
+		}()
+	}
+	// Snapshot while writers run: must not panic or block them.
+	for i := 0; i < 50; i++ {
+		rec.Spans()
+	}
+	wg.Wait()
+	if got := rec.Total(); got != writers*each {
+		t.Errorf("Total %d, want %d", got, writers*each)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range rec.Spans() {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d in snapshot", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	cases := []struct {
+		attr Attr
+		text string
+	}{
+		{Str("k", "v"), "v"},
+		{Int("k", -42), "-42"},
+		{Float("k", 1.5), "1.5"},
+		{Dur("k", 3*time.Millisecond), "3000000"},
+		{Bool("k", true), "1"},
+		{Bool("k", false), "0"},
+	}
+	for i, c := range cases {
+		if got := c.attr.Text(); got != c.text {
+			t.Errorf("case %d: Text %q, want %q", i, got, c.text)
+		}
+	}
+	if Dur("k", time.Second).AsDuration() != time.Second {
+		t.Error("Dur does not round-trip through AsDuration")
+	}
+}
+
+func TestSpanIDHex(t *testing.T) {
+	rec := NewSpanRecorder(4)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	_, sp := StartSpan(ctx, "s")
+	h := sp.IDHex()
+	if len(h) != 16 {
+		t.Fatalf("IDHex %q has %d digits, want 16", h, len(h))
+	}
+	if h != hexID(sp.ID()) {
+		t.Errorf("IDHex %q != hexID(ID) %q", h, hexID(sp.ID()))
+	}
+}
+
+func TestWriteOTLPShape(t *testing.T) {
+	rec := NewSpanRecorder(16)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "run", Str("soc", "Kirin990"))
+	_, child := StartSpan(ctx, "step", Int("n", 3), Float("f", 0.5))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, rec, "testsvc"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					SpanID       string `json:"spanId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("OTLP output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("want 1 resourceSpans / 1 scopeSpans, got %s", buf.String())
+	}
+	res := doc.ResourceSpans[0]
+	if res.Resource.Attributes[0].Key != "service.name" ||
+		res.Resource.Attributes[0].Value.StringValue != "testsvc" {
+		t.Errorf("resource attributes %+v lack service.name=testsvc", res.Resource.Attributes)
+	}
+	spans := res.ScopeSpans[0].Spans
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if len(s.TraceID) != 32 || len(s.SpanID) != 16 {
+			t.Errorf("span %s: traceId %q spanId %q, want 32/16 hex digits", s.Name, s.TraceID, s.SpanID)
+		}
+		switch s.Name {
+		case "run":
+			if s.ParentSpanID != "" {
+				t.Errorf("root span has parentSpanId %q, want omitted", s.ParentSpanID)
+			}
+		case "step":
+			if s.ParentSpanID == "" || s.ParentSpanID == strings.Repeat("0", 16) {
+				t.Errorf("child span parentSpanId %q, want the root id", s.ParentSpanID)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
@@ -33,6 +34,11 @@ type Options struct {
 	// high-water gauge. Leave nil for planner-internal candidate
 	// evaluations so only real executions are counted.
 	Metrics *obs.Registry
+	// Logger, when set, receives structured records for execution-side state
+	// transitions (admission stalls, at debug level). Records carry the
+	// active execute span id under the "span" key when tracing is armed.
+	// Leave nil for planner-internal candidate evaluations.
+	Logger *slog.Logger
 }
 
 // DefaultOptions enable contention and the memory constraint.
@@ -140,6 +146,17 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 	if m == 0 {
 		return &Result{}, nil
 	}
+
+	// One span per execution, one child per completed slice. The
+	// TracingEnabled guard keeps the disabled path — including the
+	// planner's many candidate evaluations — from allocating the attribute
+	// slice; every use below is nil-safe.
+	var execSpan *obs.Span
+	if obs.TracingEnabled(ctx) {
+		ctx, execSpan = obs.StartSpan(ctx, "execute",
+			obs.Int("requests", int64(m)), obs.Int("stages", int64(k)))
+	}
+	defer execSpan.End()
 
 	// stageDone[i][stage] = completion time, or -1 if pending.
 	stageDone := make([][]time.Duration, m)
@@ -249,6 +266,10 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 					if !stalled[i] {
 						stalled[i] = true
 						res.AdmissionStalls++
+						if opts.Logger != nil {
+							opts.Logger.Log(ctx, slog.LevelDebug, "admission stall",
+								"request", i, "stage", st, "vt", now, "span", execSpan.IDHex())
+						}
 					}
 					break
 				}
@@ -335,6 +356,20 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 				Request: es.req, Stage: es.stage,
 				Start: es.start, End: now, Slowdown: slow,
 			})
+			if execSpan != nil {
+				lr := s.Stages[es.req][es.stage]
+				sp := execSpan.StartChild("slice",
+					obs.Int("request", int64(es.req)),
+					obs.Int("stage", int64(es.stage)),
+					obs.Str("proc", s.SoC.Processors[es.stage].ID),
+					obs.Str("model", s.Profiles[es.req].Model().Name),
+					obs.Int("layers_from", int64(lr.From)),
+					obs.Int("layers_to", int64(lr.To)),
+					obs.Float("slowdown", slow),
+					obs.Dur("vt_start", es.start),
+					obs.Dur("vt_end", now))
+				sp.End()
+			}
 			if _, done := firstPendingStage(es.req); done && !finishedReq[es.req] {
 				finishRequest(es.req, now)
 			}
@@ -352,6 +387,9 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 	}
 
 	res.Makespan = now
+	if execSpan != nil {
+		execSpan.SetAttrs(obs.Dur("vt_makespan", now), obs.Int("slices", int64(len(res.Timeline))))
+	}
 	res.BubbleTime = measureBubbles(res.Timeline, k)
 	res.EnergyJoules = measureEnergy(s.SoC, res.Timeline, now)
 	sort.Slice(res.Timeline, func(a, b int) bool {

@@ -21,8 +21,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"hetero2pipe/internal/core"
@@ -79,6 +81,18 @@ type Config struct {
 	// (internal/trace.StreamChrome). Off by default: traces retain every
 	// slice of every window.
 	CollectWindowTraces bool
+	// Logger, when set, receives structured records for the scheduler's
+	// state transitions: degradation events applied (info), window
+	// interrupts (warn), plan-retry backoffs (warn), deadline misses (warn)
+	// and window completions (debug). Every record carries the active span
+	// id under the "span" key when tracing is armed. Nil disables logging.
+	Logger *slog.Logger
+	// Feed, when set, receives every completed WindowStat live — the ring
+	// behind the observability server's /windows endpoint and its SSE
+	// variant. The feed also carries the run's readiness signal (Feed.Ready
+	// is true while RunContext is accepting admissions). Nil disables the
+	// feed.
+	Feed *Feed
 }
 
 // DefaultConfig plans up to eight requests per window with batching on and
@@ -184,15 +198,26 @@ func (r *Result) MeanSojourn() time.Duration {
 
 // P95Sojourn returns the 95th-percentile sojourn.
 func (r *Result) P95Sojourn() time.Duration {
+	return r.SojournQuantile(95)
+}
+
+// SojournQuantile returns the p-th percentile sojourn (nearest rank,
+// p in [0,100]) computed exactly from the recorded sojourns — the
+// ground-truth counterpart of the bucket-interpolated
+// obs.HistogramSnapshot.Quantile estimate.
+func (r *Result) SojournQuantile(p int) time.Duration {
 	if len(r.Sojourns) == 0 {
 		return 0
 	}
 	sorted := make([]time.Duration, len(r.Sojourns))
 	copy(sorted, r.Sojourns)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	idx := (len(sorted)*95 + 99) / 100
+	idx := (len(sorted)*p + 99) / 100
 	if idx > 0 {
 		idx--
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
 	}
 	return sorted[idx]
 }
@@ -281,6 +306,31 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	mExecSeconds := reg.Histogram("stream_window_exec_seconds", obs.LatencyBuckets())
 	mSojourn := reg.Histogram("stream_sojourn_seconds", obs.LatencyBuckets())
 
+	// Root span of the run: every window, plan, replan and executor slice
+	// span descends from it. The procs attribute carries the processor IDs
+	// the Chrome-trace converter needs for its track names.
+	procIDs := make([]string, s.planner.SoC().NumProcessors())
+	for k := range procIDs {
+		procIDs[k] = s.planner.SoC().Processors[k].ID
+	}
+	ctx, runSpan := obs.StartSpan(ctx, "stream_run",
+		obs.Int("requests", int64(n)),
+		obs.Str("soc", s.planner.SoC().Name),
+		obs.Str("procs", strings.Join(procIDs, ",")))
+	defer runSpan.End()
+
+	// While the loop below runs, the scheduler is accepting admissions:
+	// the feed's readiness signal (the obs server's /readyz).
+	s.cfg.Feed.start()
+	defer s.cfg.Feed.stop()
+
+	logAt := func(level slog.Level, msg string, sp *obs.Span, args ...any) {
+		if s.cfg.Logger == nil {
+			return
+		}
+		s.cfg.Logger.Log(ctx, level, msg, append(args, "span", sp.IDHex())...)
+	}
+
 	hits0, misses0 := s.planner.CacheStats()
 	var execAgg execAggregate
 	now := time.Duration(0)
@@ -290,7 +340,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 
 	// applyDue applies every event with At ≤ now and invalidates only the
 	// affected processors' cost tables. Returns how many events applied.
-	applyDue := func() (int, error) {
+	applyDue := func(sp *obs.Span) (int, error) {
 		applied := 0
 		for eventIdx < len(s.events) && s.events[eventIdx].At <= now {
 			ev := s.events[eventIdx]
@@ -299,6 +349,8 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 				return applied, fmt.Errorf("stream: applying event %v: %w", ev, err)
 			}
 			s.planner.InvalidateProcessors(affected...)
+			logAt(slog.LevelInfo, "degradation event applied", sp,
+				"event", ev.String(), "at", now, "invalidated", len(affected))
 			eventIdx++
 			applied++
 		}
@@ -307,13 +359,15 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		return applied, nil
 	}
 
-	record := func(global int, done time.Duration) {
+	record := func(global int, done time.Duration, sp *obs.Span) {
 		res.Completions[global] = done
 		res.Sojourns[global] = done - requests[global].Arrival
 		mSojourn.ObserveDuration(res.Sojourns[global])
 		if d := requests[global].Deadline; d > 0 && res.Sojourns[global] > d {
 			res.DeadlineMisses++
 			mDeadlineMisses.Inc()
+			logAt(slog.LevelWarn, "deadline miss", sp,
+				"request", global, "sojourn", res.Sojourns[global], "deadline", d)
 		}
 		if done > res.Makespan {
 			res.Makespan = done
@@ -329,7 +383,8 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			now = requests[next].Arrival
 		}
 		ws := WindowStat{Start: now}
-		if applied, err := applyDue(); err != nil {
+		wctx, wspan := obs.StartSpan(ctx, "window", obs.Int("window", int64(res.Windows)))
+		if applied, err := applyDue(wspan); err != nil {
 			return nil, err
 		} else {
 			ws.EventsApplied += applied
@@ -361,7 +416,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 				models[i] = requests[global].Model
 			}
 			var err error
-			sched, groups, err = s.planWindow(ctx, models)
+			sched, groups, err = s.planWindow(wctx, models)
 			if err == nil {
 				break
 			}
@@ -371,8 +426,14 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			res.PlanRetries++
 			ws.PlanRetries++
 			mPlanRetries.Inc()
-			now += retryBackoff(s.cfg.RetryBackoff, attempt)
-			if applied, aerr := applyDue(); aerr != nil {
+			backoff := retryBackoff(s.cfg.RetryBackoff, attempt)
+			_, rsp := obs.StartSpan(wctx, "plan_retry",
+				obs.Int("attempt", int64(attempt)), obs.Dur("backoff", backoff))
+			rsp.End()
+			logAt(slog.LevelWarn, "plan retry backoff", wspan,
+				"attempt", attempt, "backoff", backoff, "at", now)
+			now += backoff
+			if applied, aerr := applyDue(wspan); aerr != nil {
 				return nil, aerr
 			} else {
 				ws.EventsApplied += applied
@@ -385,7 +446,14 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		ws.DPCells = s.planner.DPCells() - cellsW
 		ws.Requests = take
 
-		exec, err := pipeline.ExecuteContext(ctx, sched, execOpts)
+		// vt_start is the window's execution start on the virtual clock —
+		// `now` after any retry backoff, matching WindowTrace.Start. The
+		// executor's slice spans (children of this window via wctx) carry
+		// window-relative virtual times; the Chrome converter re-bases them
+		// on this attribute.
+		wspan.SetAttrs(obs.Dur("vt_start", now), obs.Int("requests", int64(take)))
+
+		exec, err := pipeline.ExecuteContext(wctx, sched, execOpts)
 		if err != nil {
 			return nil, fmt.Errorf("stream: executing window at %v: %w", now, err)
 		}
@@ -415,7 +483,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			for pos, g := range groups {
 				done := now + exec.Completions[pos]
 				for _, local := range g.Requests {
-					record(window[local], done)
+					record(window[local], done, wspan)
 				}
 			}
 			queue = queue[take:]
@@ -433,7 +501,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 					continue
 				}
 				for _, local := range g.Requests {
-					record(window[local], done)
+					record(window[local], done, wspan)
 					survived[local] = true
 				}
 			}
@@ -453,10 +521,29 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			ws.Requeued = len(requeue)
 			ws.Interrupted = true
 			ws.End = now
+			_, psp := obs.StartSpan(wctx, "replan",
+				obs.Dur("interrupt_at", interruptAt), obs.Int("completed", int64(len(survived))))
+			psp.End()
+			_, qsp := obs.StartSpan(wctx, "requeue", obs.Int("requests", int64(len(requeue))))
+			qsp.End()
+			logAt(slog.LevelWarn, "window interrupted", wspan,
+				"window", res.Windows, "interrupt_at", interruptAt, "requeued", len(requeue))
 		}
+		wspan.SetAttrs(
+			obs.Dur("vt_end", ws.End),
+			obs.Bool("interrupted", ws.Interrupted),
+			obs.Int("completed", int64(ws.Completed)))
+		if ws.Interrupted {
+			wspan.SetAttrs(obs.Dur("interrupt_at", interruptAt))
+		}
+		wspan.End()
 		res.Windows++
 		mWindows.Inc()
 		res.WindowStats = append(res.WindowStats, ws)
+		s.cfg.Feed.publish(ws)
+		logAt(slog.LevelDebug, "window complete", wspan,
+			"window", res.Windows-1, "requests", ws.Requests, "completed", ws.Completed,
+			"start", ws.Start, "end", ws.End)
 	}
 	// Makespan is already the maximum completion time recorded above. The
 	// clock (now) may legitimately sit past it after failed-plan backoff or
@@ -535,7 +622,9 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 		Completed:     len(res.Completions),
 		MakespanMS:    durMS(res.Makespan),
 		MeanSojournMS: durMS(res.MeanSojourn()),
+		P50SojournMS:  durMS(res.SojournQuantile(50)),
 		P95SojournMS:  durMS(res.P95Sojourn()),
+		P99SojournMS:  durMS(res.SojournQuantile(99)),
 		Planner: obs.PlannerReport{
 			CacheHits:   res.CacheHits,
 			CacheMisses: res.CacheMisses,

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stream"
+	"hetero2pipe/internal/workload"
+)
+
+// tracedStreamRun executes one stream run with both trace sources armed —
+// collected WindowTraces for StreamChrome and a span recorder for
+// StreamChromeFromSpans — so the two exports describe the same run.
+func tracedStreamRun(t *testing.T, events []soc.Event) (*stream.Result, *obs.SpanRecorder) {
+	t.Helper()
+	names := []string{
+		model.ResNet50, model.GoogLeNet, model.BERT,
+		model.ResNet50, model.GoogLeNet, model.BERT,
+	}
+	models, err := workload.Instantiate(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]stream.Request, len(models))
+	for i, m := range models {
+		reqs[i] = stream.Request{Model: m}
+	}
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.DefaultConfig()
+	cfg.CollectWindowTraces = true
+	cfg.Events = events
+	s, err := stream.NewScheduler(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder(0)
+	ctx := obs.ContextWithRecorder(context.Background(), rec)
+	res, err := s.RunContext(ctx, reqs, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// TestSpanChromeMatchesStreamChrome pins the acceptance criterion: the
+// Chrome trace reconstructed from the span ring is byte-identical to the
+// one StreamChrome renders from collected WindowTraces of the same run.
+func TestSpanChromeMatchesStreamChrome(t *testing.T) {
+	res, rec := tracedStreamRun(t, nil)
+	want, err := StreamChrome(res.WindowTraces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StreamChromeFromSpans(rec.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("span-sourced trace differs from WindowTrace-sourced trace:\nspans:\n%s\nwindows:\n%s",
+			clip(got), clip(want))
+	}
+}
+
+// TestSpanChromeMatchesStreamChromeInterrupted repeats the equality check
+// on a degraded run whose first window is interrupted, exercising the
+// discarded-segment clipping and the per-track interrupt instants.
+func TestSpanChromeMatchesStreamChromeInterrupted(t *testing.T) {
+	base, _ := tracedStreamRun(t, nil)
+	events := []soc.Event{
+		{Kind: soc.EventProcessorOffline, Processor: "npu", At: base.WindowStats[0].End / 3},
+	}
+	res, rec := tracedStreamRun(t, events)
+	if res.Replans == 0 {
+		t.Fatal("degraded scenario produced no interrupts; the test exercises nothing")
+	}
+	want, err := StreamChrome(res.WindowTraces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StreamChromeFromSpans(rec.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("span-sourced trace differs on interrupted run:\nspans:\n%s\nwindows:\n%s",
+			clip(got), clip(want))
+	}
+}
+
+// TestSpanTreeStructure pins the span hierarchy the converter (and any
+// OTLP consumer) relies on: every slice span is the child of an execute
+// span, every execute span the child of exactly one window span, and
+// every window span the child of the single stream_run root — so each
+// slice descends from exactly one window.
+func TestSpanTreeStructure(t *testing.T) {
+	res, rec := tracedStreamRun(t, nil)
+	spans := rec.Spans()
+	byID := make(map[uint64]obs.SpanData, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var rootID uint64
+	windows := 0
+	for _, s := range spans {
+		switch s.Name {
+		case "stream_run":
+			if s.Parent != 0 {
+				t.Errorf("stream_run span %d has parent %d, want root", s.ID, s.Parent)
+			}
+			if rootID != 0 {
+				t.Fatalf("more than one stream_run span in a single-run recorder")
+			}
+			rootID = s.ID
+		case "window":
+			windows++
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("no stream_run root span recorded")
+	}
+	if windows != res.Windows {
+		t.Errorf("recorded %d window spans, result has %d windows", windows, res.Windows)
+	}
+	slices := 0
+	for _, s := range spans {
+		if s.Name != "slice" {
+			continue
+		}
+		slices++
+		exec, ok := byID[s.Parent]
+		if !ok || exec.Name != "execute" {
+			t.Fatalf("slice span %d: parent %d is %q, want an execute span", s.ID, s.Parent, exec.Name)
+		}
+		win, ok := byID[exec.Parent]
+		if !ok || win.Name != "window" {
+			t.Fatalf("slice span %d: grandparent %d is %q, want a window span", s.ID, exec.Parent, win.Name)
+		}
+		if win.Parent != rootID {
+			t.Errorf("window span %d hangs off %d, want the stream_run root %d", win.ID, win.Parent, rootID)
+		}
+	}
+	totalSlices := 0
+	for _, wt := range res.WindowTraces {
+		totalSlices += len(wt.Exec.Timeline)
+	}
+	if slices != totalSlices {
+		t.Errorf("recorded %d slice spans, executed timelines hold %d slices", slices, totalSlices)
+	}
+}
+
+// clip bounds failure output.
+func clip(b []byte) []byte {
+	if len(b) > 2000 {
+		return append(append([]byte(nil), b[:2000]...), []byte("...")...)
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package hetero2pipe
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+
+	"hetero2pipe/internal/obs"
+	"hetero2pipe/internal/obs/server"
+	"hetero2pipe/internal/trace"
+)
+
+// This file is the observability facade: span tracing re-exports and the
+// live HTTP server. Metrics re-exports live in hetero2pipe.go next to the
+// run API; everything here is additive and optional — a System without
+// WithMetrics/WithSpans serves probes and pprof but 404s the data
+// endpoints.
+
+// SpanRecorder re-exports the lock-free bounded span ring. Attach one with
+// WithSpans; read it with Spans/WriteOTLP/StreamChromeTraceFromSpans or
+// serve it from the observability server's /spans endpoint.
+type SpanRecorder = obs.SpanRecorder
+
+// SpanData re-exports one finished span as stored in the recorder ring.
+type SpanData = obs.SpanData
+
+// NewSpanRecorder creates a span recorder whose ring retains the last
+// capacity finished spans (capacity ≤ 0 selects obs.DefaultSpanCapacity,
+// 65536 — several full stream runs of slice spans).
+func NewSpanRecorder(capacity int) *SpanRecorder { return obs.NewSpanRecorder(capacity) }
+
+// WriteOTLP writes the recorder's spans as an OTLP/JSON trace document
+// (resourceSpans → scopeSpans → spans), importable by any OpenTelemetry
+// pipeline or by Jaeger's JSON upload.
+func WriteOTLP(w io.Writer, rec *SpanRecorder, service string) error {
+	return obs.WriteOTLP(w, rec, service)
+}
+
+// StreamChromeTraceFromSpans converts a traced stream run into Chrome
+// trace-event JSON — the same document StreamChromeTrace renders from
+// collected WindowTraces, reconstructed from the span ring alone, so runs
+// traced with WithSpans need no CollectWindowTraces to visualise.
+func StreamChromeTraceFromSpans(rec *SpanRecorder) ([]byte, error) {
+	return trace.StreamChromeFromSpans(rec.Spans())
+}
+
+// ObsHandler returns the system's observability HTTP handler:
+//
+//	/metrics        Prometheus text exposition (WithMetrics)
+//	/vars           expvar JSON (PublishExpvar payloads included)
+//	/debug/pprof/   pprof index and profiles
+//	/healthz        liveness (always 200)
+//	/readyz         200 while a stream run accepts admissions, else 503
+//	/windows        live WindowStats of the in-flight run; ?sse=1 streams
+//	                them as Server-Sent Events
+//	/spans          the span ring as OTLP/JSON (WithSpans)
+//
+// Mount it on any mux or server; ServeObs runs a standalone one.
+func (sys *System) ObsHandler() http.Handler {
+	return server.Handler(server.Config{
+		Metrics: sys.cfg.metrics,
+		Spans:   sys.cfg.spans,
+		Feed:    sys.feed,
+		Service: sys.soc.Name,
+	})
+}
+
+// ServeObs serves ObsHandler on addr until ctx is cancelled, then shuts
+// down gracefully. addr may be ":0"; onListen (optional) receives the
+// bound address before serving starts.
+func (sys *System) ServeObs(ctx context.Context, addr string, onListen func(net.Addr)) error {
+	return server.Serve(ctx, addr, server.Config{
+		Metrics: sys.cfg.metrics,
+		Spans:   sys.cfg.spans,
+		Feed:    sys.feed,
+		Service: sys.soc.Name,
+	}, onListen)
+}

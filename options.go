@@ -1,6 +1,8 @@
 package hetero2pipe
 
 import (
+	"log/slog"
+
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/soc"
@@ -13,6 +15,8 @@ type config struct {
 	planner core.Options
 	stream  stream.Config
 	metrics *obs.Registry
+	logger  *slog.Logger
+	spans   *obs.SpanRecorder
 }
 
 func defaultConfig() config {
@@ -67,6 +71,28 @@ func WithDegradationEvents(events ...Event) Option {
 // (the default); instruments on a nil registry are no-ops.
 func WithMetrics(reg *MetricsRegistry) Option {
 	return optionFunc(func(c *config) { c.metrics = reg })
+}
+
+// WithLogger attaches a structured logger to the system: the planner (plan
+// completions, debug), the executor (admission stalls, debug) and the
+// stream scheduler (degradation events applied at info; window interrupts,
+// plan-retry backoffs and deadline misses at warn; window completions at
+// debug) emit leveled records into it. When span tracing is armed
+// (WithSpans) every record carries the active span id under the "span"
+// key. Nil disables logging (the default).
+func WithLogger(l *slog.Logger) Option {
+	return optionFunc(func(c *config) { c.logger = l })
+}
+
+// WithSpans attaches a span recorder to the system: every Run/RunStream
+// call records a tree of spans (stream_run → window → plan/partition/
+// dp_row, execute → slice, plus plan_retry/replan/requeue markers) into
+// the recorder's bounded lock-free ring. Export the ring with WriteOTLP,
+// convert it to a Chrome trace with StreamChromeTraceFromSpans, or serve
+// it live from the observability server's /spans endpoint. Nil disables
+// tracing (the default) at no per-call cost beyond a context lookup.
+func WithSpans(rec *SpanRecorder) Option {
+	return optionFunc(func(c *config) { c.spans = rec })
 }
 
 // WithPlannerOptions replaces the full planner configuration — the escape
