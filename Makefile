@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs serve-test bench bench-diff fuzz fuzz-degrade
+.PHONY: check build vet test race diff degrade obs serve-test bench bench-smoke bench-diff fuzz fuzz-degrade
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade obs serve-test
+check: vet build race diff degrade obs serve-test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ serve-test:
 ## machine-readable JSON (BENCH_<date>.json) for regression tracking.
 bench:
 	$(GO) test -bench . -benchmem -count=5 -run xxx . | $(GO) run ./cmd/benchjson | tee BENCH_$(shell date +%Y-%m-%d).json
+
+## bench-smoke: one quick pass of the stream serving benchmarks (steady
+## state and churn, plan cache on and off) — a fast check that the online
+## serving paths still run end to end; part of `make check`.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkStream(SteadyState|Churn)' -benchtime 1x -count=1 .
 
 ## bench-diff: guard against performance regressions — compare the two most
 ## recent BENCH_*.json archives (override with OLD=/NEW=) and fail on a

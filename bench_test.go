@@ -3,6 +3,7 @@ package hetero2pipe_test
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"hetero2pipe/internal/baseline"
 	"hetero2pipe/internal/core"
@@ -12,6 +13,8 @@ import (
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
+	"hetero2pipe/internal/stream"
+	"hetero2pipe/internal/workload"
 )
 
 // benchExperiment runs one paper artefact per iteration at quick scale, so
@@ -259,6 +262,111 @@ func BenchmarkEnergyExtension(b *testing.B) { benchExperiment(b, "energy") }
 func BenchmarkSensitivitySweeps(b *testing.B) { benchExperiment(b, "sensitivity") }
 
 func BenchmarkDepthAblation(b *testing.B) { benchExperiment(b, "depth") }
+
+// Stream serving benchmarks: whole online runs through the scheduler. The
+// steady-state pair (identical window mix, stable SoC) is the plan cache's
+// target workload — compare the plan-ns/window metric of
+// BenchmarkStreamSteadyState against BenchmarkStreamSteadyStateNoPlanCache
+// for the memoization saving. The churn pair injects a state-changing
+// throttle between windows, retiring every cached signature, and bounds the
+// cache's overhead when it can never hit.
+
+func benchStreamRequests(b *testing.B) []stream.Request {
+	b.Helper()
+	names := make([]string, 0, 24)
+	for i := 0; i < 8; i++ {
+		names = append(names, model.ResNet50, model.SqueezeNet, model.GoogLeNet)
+	}
+	models, err := workload.Instantiate(names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]stream.Request, len(models))
+	for i, m := range models {
+		reqs[i] = stream.Request{Model: m}
+	}
+	return reqs
+}
+
+// benchStreamRun drives b.N full runs of a 24-request burst (8 identical
+// 3-model windows) and reports the planner's wall time per window alongside
+// the usual per-run figures.
+func benchStreamRun(b *testing.B, planCache int, events []soc.Event) {
+	opts := core.DefaultOptions()
+	opts.PlanCache = planCache
+	pl, err := core.NewPlanner(soc.Kirin990(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := stream.DefaultConfig()
+	cfg.MaxWindow = 3
+	cfg.MaxBatch = 1
+	cfg.Events = events
+	sched, err := stream.NewScheduler(pl, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchStreamRequests(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var planWall time.Duration
+	windows := 0
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(reqs, pipeline.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ws := range res.WindowStats {
+			planWall += ws.PlanWall
+		}
+		windows += res.Windows
+	}
+	b.ReportMetric(float64(planWall.Nanoseconds())/float64(windows), "plan-ns/window")
+}
+
+// benchChurnEvents probes an event-free run for its makespan and spreads an
+// alternating throttle (1.5 ↔ nominal) across it: every planning epoch is
+// retired before the next window, so the plan cache can never serve a hit.
+// The event count is even, returning the SoC to nominal so every b.N
+// iteration replays identically.
+func benchChurnEvents(b *testing.B) []soc.Event {
+	b.Helper()
+	pl, err := core.NewPlanner(soc.Kirin990(), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := stream.DefaultConfig()
+	cfg.MaxWindow = 3
+	cfg.MaxBatch = 1
+	sched, err := stream.NewScheduler(pl, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sched.Run(benchStreamRequests(b), pipeline.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := make([]soc.Event, 6)
+	for i := range events {
+		factor := 1.5
+		if i%2 == 1 {
+			factor = 1.0
+		}
+		events[i] = soc.Event{
+			Kind: soc.EventThermalThrottle, Processor: "cpu-big",
+			At: time.Duration(i+1) * res.Makespan / 7, Factor: factor,
+		}
+	}
+	return events
+}
+
+func BenchmarkStreamSteadyState(b *testing.B)            { benchStreamRun(b, 8, nil) }
+func BenchmarkStreamSteadyStateNoPlanCache(b *testing.B) { benchStreamRun(b, 0, nil) }
+
+func BenchmarkStreamChurn(b *testing.B) { benchStreamRun(b, 8, benchChurnEvents(b)) }
+func BenchmarkStreamChurnNoPlanCache(b *testing.B) {
+	benchStreamRun(b, 0, benchChurnEvents(b))
+}
 
 func BenchmarkPartitionParametric(b *testing.B) {
 	_, profs := benchProfiles(b, model.BERT)

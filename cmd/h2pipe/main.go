@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string) error {
 		eventsFlag = fs.String("events", "", "degradation events kind[:proc]@at[:factor], comma-separated (e.g. offline:npu@40ms,throttle:gpu@10ms:1.8); applied on the stream clock, or immediately without -stream")
 		gap        = fs.Duration("gap", 10*time.Millisecond, "mean inter-arrival gap in -stream mode")
 		window     = fs.Int("window", 8, "max requests per planning window in -stream mode")
+		planCache  = fs.Int("plan-cache", 0, "memoize up to N whole plans keyed by SoC epoch + window signature (0 disables); steady-state windows skip the planner entirely")
 		report     = fs.Bool("report", false, "print a structured JSON run report on stdout")
 		metricsOut = fs.String("metrics", "", "write the metrics registry in Prometheus text format to a file")
 		serveAddr  = fs.String("serve", "", "serve live observability HTTP (/metrics, /vars, /debug/pprof, /healthz, /readyz, /windows, /spans) on this address; keeps serving after the run until Ctrl-C")
@@ -122,6 +123,7 @@ func run(ctx context.Context, args []string) error {
 	opts.Mitigation = !*noMit
 	opts.WorkStealing = !*noSteal
 	opts.TailOptimization = !*noTail
+	opts.PlanCache = *planCache
 	var reg *obs.Registry
 	if *metricsOut != "" || *serveAddr != "" {
 		reg = obs.NewRegistry("h2pipe")
@@ -411,6 +413,9 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 		res.MeanSojourn().Seconds()*1e3, res.P95Sojourn().Seconds()*1e3)
 	fmt.Printf("planning windows:   %8d\n", res.Windows)
 	fmt.Printf("cost cache:         %8d hits, %d misses\n", res.CacheHits, res.CacheMisses)
+	if res.PlanCacheHits+res.PlanCacheMisses > 0 {
+		fmt.Printf("plan cache:         %8d hits, %d misses\n", res.PlanCacheHits, res.PlanCacheMisses)
+	}
 	if len(events) > 0 {
 		fmt.Printf("events applied:     %8d\n", res.EventsApplied)
 		fmt.Printf("replans:            %8d  (%d requests requeued)\n", res.Replans, res.Retried)

@@ -86,6 +86,12 @@ func (sys *System) SoC() *soc.SoC { return sys.soc }
 // processors' tables.
 func (sys *System) CacheStats() (hits, misses uint64) { return sys.planner.CacheStats() }
 
+// PlanCacheStats returns the planner's lifetime whole-plan cache counters
+// (WithPlanCache): a hit is a planning call served a memoized plan without
+// running the two-step optimisation, a miss is a call planned in full. Both
+// zero when the plan cache is disabled.
+func (sys *System) PlanCacheStats() (hits, misses uint64) { return sys.planner.PlanCacheStats() }
+
 // InvalidateCache drops the planner's memoized cost tables. Required after
 // mutating the SoC description in place (e.g. frequency or thermal
 // experiments); the next plan re-measures every model. To invalidate only

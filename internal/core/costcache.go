@@ -209,19 +209,31 @@ func (pl *Planner) CacheStats() (hits, misses uint64) {
 	return pl.cache.stats()
 }
 
-// InvalidateCache drops every memoized cost table. Call it after mutating
-// the SoC description in place (frequency scaling, thermal capping
-// experiments); the next plan re-measures every model.
+// InvalidateCache drops every memoized cost table and every memoized whole
+// plan. Call it after mutating the SoC description in place (frequency
+// scaling, thermal capping experiments); the next plan re-measures every
+// model. Pair it with soc.SoC.BumpEpoch so plan signatures computed after
+// the mutation cannot alias pre-mutation ones.
 func (pl *Planner) InvalidateCache() {
 	pl.cache.invalidate()
+	if pl.planCache != nil {
+		pl.planCache.invalidate()
+	}
 }
 
 // InvalidateProcessors drops only the named processors' memoized tables —
 // the partial invalidation matching a degradation event's affected set
 // (soc.SoC.Apply returns it). Unaffected (model, processor) tables stay
 // cached; the next lookup re-measures the stale slots and shares the rest.
+// A non-empty set also flushes the whole-plan cache: a plan spans every
+// processor, so no memoized plan survives any processor's transition (the
+// bumped epoch already makes those entries unreachable; flushing reclaims
+// them). An empty set — a no-op event — touches neither cache.
 func (pl *Planner) InvalidateProcessors(procs ...int) {
 	pl.cache.invalidateProcessors(procs)
+	if len(procs) > 0 && pl.planCache != nil {
+		pl.planCache.invalidate()
+	}
 }
 
 // SoC returns the SoC the planner plans for — the object degradation

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
@@ -65,11 +66,13 @@ func Partition(p *profile.Profile) (pipeline.Cuts, float64, error) {
 // for cancellation between cell rows, so a long chain aborts promptly
 // without finishing its table.
 func PartitionContext(ctx context.Context, p *profile.Profile) (pipeline.Cuts, float64, error) {
-	choice, best, _, err := partitionTable(ctx, p, false)
+	scr, best, _, err := partitionTable(ctx, p, false)
 	if err != nil {
 		return nil, 0, err
 	}
-	return backtrackCuts(p, choice, best)
+	cuts, best, err := backtrackCuts(p, scr.choice, best)
+	putDPScratch(scr)
+	return cuts, best, err
 }
 
 // PartitionFast is the O(nK log n) crossing-point variant of Algorithm 1:
@@ -78,11 +81,13 @@ func PartitionContext(ctx context.Context, p *profile.Profile) (pipeline.Cuts, f
 // exact when Property 2 holds for the combined exec+copy cost and within a
 // fraction of a percent of optimal otherwise.
 func PartitionFast(p *profile.Profile) (pipeline.Cuts, float64, error) {
-	choice, best, _, err := partitionTable(context.Background(), p, true)
+	scr, best, _, err := partitionTable(context.Background(), p, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	return backtrackCuts(p, choice, best)
+	cuts, best, err := backtrackCuts(p, scr.choice, best)
+	putDPScratch(scr)
+	return cuts, best, err
 }
 
 // cancelCheckStride is how many DP cells are filled between cancellation
@@ -90,11 +95,60 @@ func PartitionFast(p *profile.Profile) (pipeline.Cuts, float64, error) {
 // enough to keep ctx.Err out of the inner-loop cost.
 const cancelCheckStride = 64
 
-// partitionTable fills the DP and returns the per-stage choice table, the
-// optimal bottleneck, and the number of DP cells evaluated (the
-// observability figure behind Planner.DPCells — base row plus every
-// (stage, j) cell filled before completion or cancellation).
-func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int, float64, uint64, error) {
+// dpScratch is the pooled scratch state of one Algorithm-1 DP: the two
+// rolling S* rows and the per-stage choice table. Every cell the DP reads
+// is written first on every run, so reused buffers need no zeroing; callers
+// return the scratch to the pool with putDPScratch once backtracking has
+// consumed the choice table.
+type dpScratch struct {
+	// dp[j+1] = S*(j, stage) for prefix ending at layer j; dp[0] = S*(∅).
+	dp, prev []float64
+	// choice[k][j+1] = the i chosen (start layer of stage k's slice; i=j+1
+	// encodes an empty slice).
+	choice [][]int
+}
+
+var dpScratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// getDPScratch returns pooled scratch sized for an n-layer, k-stage DP.
+func getDPScratch(n, k int) *dpScratch {
+	s := dpScratchPool.Get().(*dpScratch)
+	if cap(s.dp) < n+1 {
+		s.dp = make([]float64, n+1)
+	} else {
+		s.dp = s.dp[:n+1]
+	}
+	if cap(s.prev) < n+1 {
+		s.prev = make([]float64, n+1)
+	} else {
+		s.prev = s.prev[:n+1]
+	}
+	if cap(s.choice) >= k {
+		s.choice = s.choice[:k]
+	} else {
+		old := s.choice[:cap(s.choice)]
+		s.choice = make([][]int, k)
+		copy(s.choice, old) // keep the rows' backing arrays for reuse
+	}
+	for i := range s.choice {
+		if cap(s.choice[i]) < n+1 {
+			s.choice[i] = make([]int, n+1)
+		} else {
+			s.choice[i] = s.choice[i][:n+1]
+		}
+	}
+	return s
+}
+
+func putDPScratch(s *dpScratch) { dpScratchPool.Put(s) }
+
+// partitionTable fills the DP and returns the scratch holding the per-stage
+// choice table, the optimal bottleneck, and the number of DP cells
+// evaluated (the observability figure behind Planner.DPCells — base row
+// plus every (stage, j) cell filled before completion or cancellation).
+// Ownership of the scratch transfers to the caller on success (release with
+// putDPScratch after backtracking); error returns recycle it internally.
+func partitionTable(ctx context.Context, p *profile.Profile, fast bool) (*dpScratch, float64, uint64, error) {
 	n := p.NumLayers()
 	k := p.NumProcessors()
 	if n == 0 || k == 0 {
@@ -102,15 +156,8 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 	}
 	var cells uint64
 
-	// dp[j+1] = S*(j, stage) for prefix ending at layer j; dp[0] = S*(∅).
-	dp := make([]float64, n+1)
-	prev := make([]float64, n+1)
-	// choice[k][j+1] = the i chosen (start layer of stage k's slice; i=j+1
-	// encodes an empty slice).
-	choice := make([][]int, k)
-	for s := range choice {
-		choice[s] = make([]int, n+1)
-	}
+	scr := getDPScratch(n, k)
+	dp, prev, choice := scr.dp, scr.prev, scr.choice
 
 	// Stage 0 base: prefix [0..j] entirely on stage 0 (or empty).
 	prev[0] = 0
@@ -136,6 +183,7 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 		for j := 0; j < n; j++ {
 			if j%cancelCheckStride == 0 && ctx.Err() != nil {
 				row.End()
+				putDPScratch(scr)
 				return nil, 0, cells, cancelErr(ctx)
 			}
 			var bestI int
@@ -154,9 +202,10 @@ func partitionTable(ctx context.Context, p *profile.Profile, fast bool) ([][]int
 	}
 	best := prev[n]
 	if math.IsInf(best, 1) {
+		putDPScratch(scr)
 		return nil, 0, cells, ErrInfeasiblePartition
 	}
-	return choice, best, cells, nil
+	return scr, best, cells, nil
 }
 
 // cellByScan minimises max(prev[i], cost(i, j)) exactly, pruning on the

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// nonMonotoneCopyModel builds a chain whose boundary tensors alternate
+// between huge and tiny: the copy-in term T^c(i) of Eq. (2) then spikes on
+// every even boundary, so the combined exec+copy slice cost is deliberately
+// NOT non-increasing in the start index — the Property-2 assumption
+// PartitionFast's crossing-point binary search relies on is violated.
+func nonMonotoneCopyModel(t *testing.T) *model.Model {
+	t.Helper()
+	const n = 24
+	layers := make([]model.Layer, n)
+	in := int64(16 << 20)
+	first := in
+	for i := range layers {
+		out := int64(4 << 10)
+		if i%2 == 0 {
+			out = 16 << 20
+		}
+		layers[i] = model.Layer{
+			Name:            fmt.Sprintf("l%d", i),
+			Kind:            model.OpConv,
+			FLOPs:           2e8 + 1e7*float64(i%5),
+			InputBytes:      in,
+			OutputBytes:     out,
+			WeightBytes:     256 << 10,
+			WorkingSetBytes: 1 << 20,
+		}
+		in = out
+	}
+	m := &model.Model{Name: "NonMonotoneCopy", Layers: layers, InputBytes: first}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("synthetic model invalid: %v", err)
+	}
+	return m
+}
+
+// TestPartitionFastProperty2ViolationBound: on a profile that provably
+// violates Property 2 (the combined slice cost increases as the slice
+// shrinks, because dropping a cheap prefix layer can move the boundary onto
+// a huge copy), PartitionFast stays admissible — never below the exact DP
+// optimum, and within the documented "fraction of a percent" (≤ 1%) of it.
+func TestPartitionFastProperty2ViolationBound(t *testing.T) {
+	s := soc.Kirin990()
+	p, err := profile.New(s, nonMonotoneCopyModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumLayers()
+
+	// First prove the lever works: the profile must actually violate
+	// Property 2 on some processor — sliceSeconds(k, i+1, j) >
+	// sliceSeconds(k, i, j) for some suffix slice.
+	violated := false
+	for k := 0; k < p.NumProcessors() && !violated; k++ {
+		for i := 0; i+1 < n; i++ {
+			whole := sliceSeconds(p, k, i, n-1)
+			shrunk := sliceSeconds(p, k, i+1, n-1)
+			if math.IsInf(whole, 1) || math.IsInf(shrunk, 1) {
+				continue
+			}
+			if shrunk > whole+1e-12 {
+				violated = true
+				break
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("synthetic profile does not violate Property 2; the test exercises nothing")
+	}
+
+	exactCuts, exact, err := Partition(p)
+	if err != nil {
+		t.Fatalf("exact DP: %v", err)
+	}
+	fastCuts, fast, err := PartitionFast(p)
+	if err != nil {
+		t.Fatalf("PartitionFast: %v", err)
+	}
+	for _, c := range []pipeline.Cuts{exactCuts, fastCuts} {
+		if !pipeline.ValidCuts(c, n, p.NumProcessors()) {
+			t.Fatalf("invalid cuts %v", c)
+		}
+	}
+	if fast < exact-1e-9 {
+		t.Fatalf("PartitionFast bottleneck %g beats the exact DP %g — impossible", fast, exact)
+	}
+	if fast > exact*1.01+1e-12 {
+		t.Errorf("PartitionFast %g more than 1%% above the exact DP %g under a Property-2 violation (gap %.4f%%)",
+			fast, exact, 100*(fast/exact-1))
+	}
+	t.Logf("Property-2 violation: exact %g, fast %g (gap %.6f%%)", exact, fast, 100*(fast/exact-1))
+}

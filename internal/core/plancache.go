@@ -1,0 +1,260 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hetero2pipe/internal/contention"
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
+	"hetero2pipe/internal/pipeline"
+)
+
+// Whole-plan memoization. The cost-table cache removes the measurement cost
+// of repeated planning, but every PlanProfiles call still pays the full
+// two-step optimisation — per-model partition DPs, the LAP mitigation
+// reorder, work stealing and the tail local search across ~6 candidate
+// orderings. In the stream scheduler's steady state (the same request mix
+// window after window against an unchanged SoC) that work recomputes an
+// identical plan every time. The plan cache memoizes whole plans behind a
+// canonical window signature:
+//
+//	SoC degradation epoch | planner options fingerprint | ordered model digests
+//
+// The epoch (soc.SoC.Epoch) is the validity token: every state-changing
+// degradation event bumps it, so a cached plan can never survive a throttle,
+// frequency step, offline/online transition or bus squeeze — without the
+// cache ever re-hashing the SoC description. The model sequence is kept in
+// window order, not sorted: the planner's candidate orderings and the
+// Order index mapping depend on the order requests arrive in, so two
+// permutations of one multiset are distinct planner inputs with distinct
+// (byte-different) plans.
+//
+// Hits return a deep copy: plans are mutable (stream callers hand the
+// schedule to the executor, experiments rewrite stage rows), so the cache
+// keeps a private copy at insert and clones it on every hit. Structural
+// model verification guards the digest-based key the same way sameModel
+// guards the cost cache's name-based key, so a digest collision degrades to
+// a miss, never a wrong plan.
+
+// planKey is the canonical window signature.
+type planKey = string
+
+// planSignature builds the canonical signature for a window of models
+// planned at the given SoC epoch under the fingerprinted options.
+func planSignature(epoch uint64, optsFP string, models []*model.Model) planKey {
+	var b strings.Builder
+	b.Grow(len(optsFP) + 20 + 17*len(models))
+	b.WriteString(strconv.FormatUint(epoch, 16))
+	b.WriteByte('|')
+	b.WriteString(optsFP)
+	for _, m := range models {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatUint(modelDigest(m), 16))
+	}
+	return b.String()
+}
+
+// modelDigest is an FNV-1a content hash over every planner-relevant model
+// field: two models with equal digests are structurally identical up to
+// 64-bit hash collision, which the structural hit guard then rules out.
+func modelDigest(m *model.Model) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	ws(m.Name)
+	wu(uint64(m.InputBytes))
+	wu(uint64(len(m.Layers)))
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		ws(l.Name)
+		wu(uint64(l.Kind))
+		wu(math.Float64bits(l.FLOPs))
+		wu(uint64(l.InputBytes))
+		wu(uint64(l.OutputBytes))
+		wu(uint64(l.WeightBytes))
+		wu(uint64(l.WorkingSetBytes))
+	}
+	return h.Sum64()
+}
+
+// optionsFingerprint canonicalises the Options fields that influence plan
+// content. Parallelism is deliberately absent (plans are byte-identical at
+// every worker count; see Options.Parallelism), as are the Metrics/Logger
+// handles, which observe planning without steering it.
+func optionsFingerprint(o Options) string {
+	est := "nil"
+	if o.Estimator != nil {
+		// Pointer identity: the estimator's weights are treated as immutable
+		// for the planner's lifetime, like the SoC description between
+		// epochs. Swapping in a new estimator means a new Planner (or an
+		// InvalidateCache call).
+		est = fmt.Sprintf("%p", o.Estimator)
+	}
+	return fmt.Sprintf("q=%g;mit=%t;ws=%t;tail=%t;cont=%t;mem=%t;smem=%t;est=%s",
+		o.HighQuantile, o.Mitigation, o.WorkStealing, o.TailOptimization,
+		o.ExecOptions.Contention, o.ExecOptions.EnforceMemory, o.ExecOptions.SampleMemory, est)
+}
+
+// planEntry is one memoized plan plus the ordered model identities backing
+// its signature (the structural collision guard).
+type planEntry struct {
+	key    planKey
+	models []*model.Model
+	plan   *Plan
+}
+
+// planCache is a bounded LRU of whole plans. All methods are safe for
+// concurrent use.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[planKey]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	// hitC/missC mirror the lifetime counters into the owning planner's
+	// metrics registry (detached instruments when no registry is set).
+	hitC  *obs.Counter
+	missC *obs.Counter
+}
+
+func newPlanCache(capacity int, reg *obs.Registry) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[planKey]*list.Element),
+		order:   list.New(),
+		hitC:    reg.Counter("planner_plan_cache_hits_total"),
+		missC:   reg.Counter("planner_plan_cache_misses_total"),
+	}
+}
+
+// get returns a deep copy of the memoized plan for key, or nil. models are
+// the window's ordered identities; a signature match with a structural
+// mismatch (a digest collision) counts as a miss.
+func (c *planCache) get(key planKey, models []*model.Model) *Plan {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*planEntry)
+		if sameModels(e.models, models) {
+			c.order.MoveToFront(el)
+			plan := deepCopyPlan(e.plan)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			c.hitC.Inc()
+			return plan
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	c.missC.Inc()
+	return nil
+}
+
+// put memoizes a private deep copy of plan under key, evicting the
+// least-recently-used entries beyond the capacity bound.
+func (c *planCache) put(key planKey, models []*model.Model, plan *Plan) {
+	entry := &planEntry{
+		key:    key,
+		models: append([]*model.Model(nil), models...),
+		plan:   deepCopyPlan(plan),
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = entry
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.entries[key] = c.order.PushFront(entry)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).key)
+	}
+	c.mu.Unlock()
+}
+
+// stats returns the lifetime hit/miss counters.
+func (c *planCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// len returns the current entry count (tests inspect the LRU bound).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// invalidate drops every entry (counters survive — lifetime semantics,
+// matching costCache.invalidate).
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[planKey]*list.Element)
+	c.order.Init()
+	c.mu.Unlock()
+}
+
+// sameModels verifies the ordered structural identity behind a signature
+// match.
+func sameModels(a, b []*model.Model) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameModel(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// deepCopyPlan clones every mutable layer of a plan: the schedule's stage
+// rows (Schedule.Clone — SoC and profiles are shared, immutable between
+// epochs) and all index/score slices. Cache and caller never alias.
+func deepCopyPlan(p *Plan) *Plan {
+	out := &Plan{
+		Order:               append([]int(nil), p.Order...),
+		Classes:             append([]contention.Class(nil), p.Classes...),
+		Intensities:         append([]float64(nil), p.Intensities...),
+		HorizontalMakespans: append([]float64(nil), p.HorizontalMakespans...),
+	}
+	if p.Schedule != nil {
+		out.Schedule = p.Schedule.Clone()
+	}
+	if p.Cuts != nil {
+		out.Cuts = make([]pipeline.Cuts, len(p.Cuts))
+		for i, c := range p.Cuts {
+			out.Cuts[i] = append(pipeline.Cuts(nil), c...)
+		}
+	}
+	return out
+}
+
+// PlanCacheStats returns the planner's lifetime whole-plan cache hit/miss
+// counters: one hit per window served from the cache, one miss per window
+// that ran the full two-step optimisation. Both zero when the cache is
+// disabled (Options.PlanCache ≤ 0).
+func (pl *Planner) PlanCacheStats() (hits, misses uint64) {
+	if pl.planCache == nil {
+		return 0, 0
+	}
+	return pl.planCache.stats()
+}

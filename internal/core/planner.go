@@ -39,6 +39,15 @@ type Options struct {
 	// profiles — the "external profiling" the estimator exists to avoid,
 	// kept as a fallback for custom SoCs without a trained model.
 	Estimator *contention.Estimator
+	// PlanCache, when positive, bounds an LRU memo of whole plans keyed by
+	// the canonical window signature (SoC degradation epoch + options
+	// fingerprint + ordered model digests; see plancache.go). A window whose
+	// signature matches a memoized plan skips partition, mitigation, work
+	// stealing and the tail search entirely and receives a deep copy of the
+	// cached plan — byte-identical to replanning, since the signature pins
+	// every planner input. 0 (the zero value and the default) disables the
+	// cache.
+	PlanCache int
 	// Parallelism bounds the planner's worker pool: per-model partition
 	// DPs, candidate-ordering passes, tail-search variants and
 	// work-stealing windows fan out across at most this many goroutines.
@@ -50,8 +59,10 @@ type Options struct {
 	Parallelism int
 	// Metrics, when set, receives planner observability: plan wall-time
 	// (planner_plan_seconds), plans completed (planner_plans_total), DP
-	// cells evaluated (planner_dp_cells_total) and cost-cache traffic
-	// (planner_cache_{hits,misses}_total). Nil disables the registry writes
+	// cells evaluated (planner_dp_cells_total), cost-cache traffic
+	// (planner_cache_{hits,misses}_total) and — when PlanCache is enabled —
+	// whole-plan cache traffic (planner_plan_cache_{hits,misses}_total).
+	// Nil disables the registry writes
 	// at negligible cost; the Planner-level counters (CacheStats, DPCells)
 	// are always live. Note ExecOptions.Metrics is deliberately separate:
 	// the planner leaves it nil so its internal candidate evaluations do
@@ -91,6 +102,12 @@ type Planner struct {
 	soc   *soc.SoC
 	opts  Options
 	cache *costCache
+	// planCache memoizes whole plans behind the epoch-keyed window
+	// signature; nil when Options.PlanCache ≤ 0. optsFP is the planner's
+	// options fingerprint, computed once — it never changes after
+	// construction.
+	planCache *planCache
+	optsFP    string
 
 	// dpCells accumulates DP cells evaluated across the planner's lifetime.
 	dpCells atomic.Uint64
@@ -110,14 +127,19 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 		return nil, fmt.Errorf("core: high quantile %g outside [0,1]", opts.HighQuantile)
 	}
 	reg := opts.Metrics
-	return &Planner{
+	pl := &Planner{
 		soc:          s,
 		opts:         opts,
 		cache:        newCostCache(s, reg),
 		mPlans:       reg.Counter("planner_plans_total"),
 		mDPCells:     reg.Counter("planner_dp_cells_total"),
 		mPlanSeconds: reg.Histogram("planner_plan_seconds", obs.LatencyBuckets()),
-	}, nil
+	}
+	if opts.PlanCache > 0 {
+		pl.planCache = newPlanCache(opts.PlanCache, reg)
+		pl.optsFP = optionsFingerprint(opts)
+	}
+	return pl, nil
 }
 
 // DPCells reports the lifetime count of Algorithm-1 DP cells evaluated by
@@ -133,7 +155,7 @@ func (pl *Planner) partition(ctx context.Context, p *profile.Profile) (pipeline.
 	if obs.TracingEnabled(ctx) {
 		ctx, sp = obs.StartSpan(ctx, "partition", obs.Str("model", p.Model().Name))
 	}
-	choice, best, cells, err := partitionTable(ctx, p, false)
+	scr, best, cells, err := partitionTable(ctx, p, false)
 	pl.dpCells.Add(cells)
 	pl.mDPCells.Add(cells)
 	sp.SetAttrs(obs.Int("dp_cells", int64(cells)))
@@ -141,7 +163,9 @@ func (pl *Planner) partition(ctx context.Context, p *profile.Profile) (pipeline.
 	if err != nil {
 		return nil, 0, err
 	}
-	return backtrackCuts(p, choice, best)
+	cuts, best, err := backtrackCuts(p, scr.choice, best)
+	putDPScratch(scr)
+	return cuts, best, err
 }
 
 // workers resolves Options.Parallelism to a concrete pool size.
@@ -213,6 +237,9 @@ func (pl *Planner) PlanProfiles(profiles []*profile.Profile) (*Plan, error) {
 // runs under a "plan" span carrying the cache-traffic delta of this plan
 // (hits on cost tables reused from earlier plans, misses on fresh
 // measurements) and emits one debug log record when a logger is configured.
+// With Options.PlanCache enabled the span additionally carries a
+// "plan_cache" attribute ("hit" or "miss"); on a hit the whole two-step
+// optimisation is skipped and the memoized plan is returned as a deep copy.
 func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.Profile) (*Plan, error) {
 	start := time.Now()
 	hits0, misses0 := pl.CacheStats()
@@ -220,16 +247,44 @@ func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.
 	if obs.TracingEnabled(ctx) {
 		ctx, sp = obs.StartSpan(ctx, "plan", obs.Int("profiles", int64(len(profiles))))
 	}
+	var key planKey
+	var models []*model.Model
+	if pl.planCache != nil {
+		models = make([]*model.Model, len(profiles))
+		for i, p := range profiles {
+			models[i] = p.Model()
+		}
+		key = planSignature(pl.soc.Epoch(), pl.optsFP, models)
+		if plan := pl.planCache.get(key, models); plan != nil {
+			sp.SetAttrs(obs.Str("plan_cache", "hit"))
+			sp.End()
+			wall := time.Since(start)
+			pl.mPlans.Inc()
+			pl.mPlanSeconds.ObserveDuration(wall)
+			if pl.opts.Logger != nil {
+				pl.opts.Logger.Log(ctx, slog.LevelDebug, "plan complete",
+					"profiles", len(profiles), "wall", wall,
+					"plan_cache", "hit", "span", sp.IDHex())
+			}
+			return plan, nil
+		}
+	}
 	plan, err := pl.planProfiles(ctx, profiles)
 	hits1, misses1 := pl.CacheStats()
 	if sp != nil {
 		sp.SetAttrs(
 			obs.Int("cache_hits", int64(hits1-hits0)),
 			obs.Int("cache_misses", int64(misses1-misses0)))
+		if pl.planCache != nil {
+			sp.SetAttrs(obs.Str("plan_cache", "miss"))
+		}
 		sp.End()
 	}
 	if err != nil {
 		return nil, err
+	}
+	if pl.planCache != nil {
+		pl.planCache.put(key, models, plan)
 	}
 	wall := time.Since(start)
 	pl.mPlans.Inc()

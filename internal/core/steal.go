@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"hetero2pipe/internal/parallel"
 	"hetero2pipe/internal/pipeline"
@@ -18,18 +19,26 @@ import (
 
 // stageSeconds returns the per-stage solo durations of cuts on p.
 func stageSeconds(p *profile.Profile, cuts pipeline.Cuts) []float64 {
+	return stageSecondsInto(make([]float64, 0, len(cuts)-1), p, cuts)
+}
+
+// stageSecondsInto is stageSeconds appending into a caller-owned buffer —
+// the alignment loops run once per window per candidate ordering, so they
+// feed pooled vectors here instead of allocating.
+func stageSecondsInto(dst []float64, p *profile.Profile, cuts pipeline.Cuts) []float64 {
 	k := len(cuts) - 1
-	out := make([]float64, k)
 	for s := 0; s < k; s++ {
-		out[s] = sliceSeconds(p, s, cuts[s], cuts[s+1]-1)
+		dst = append(dst, sliceSeconds(p, s, cuts[s], cuts[s+1]-1))
 	}
-	return out
+	return dst
 }
 
 // totalSeconds returns Σ_k T_k — the critical-path metric of Algorithm 3.
 func totalSeconds(p *profile.Profile, cuts pipeline.Cuts) float64 {
 	var sum float64
-	for _, v := range stageSeconds(p, cuts) {
+	k := len(cuts) - 1
+	for s := 0; s < k; s++ {
+		v := sliceSeconds(p, s, cuts[s], cuts[s+1]-1)
 		if math.IsInf(v, 1) {
 			return math.Inf(1)
 		}
@@ -37,6 +46,17 @@ func totalSeconds(p *profile.Profile, cuts pipeline.Cuts) float64 {
 	}
 	return sum
 }
+
+// stealScratch pools the per-window alignment vectors: the critical model's
+// stage times, the per-model target vector, and the trial cut buffer the
+// boundary search walks. One scratch serves one AlignWindow call; windows
+// aligned in parallel each take their own.
+type stealScratch struct {
+	crit, target []float64
+	trial        pipeline.Cuts
+}
+
+var stealScratchPool = sync.Pool{New: func() any { return new(stealScratch) }}
 
 // AlignWindow applies work stealing inside one contention window: profiles
 // and cuts are the window's models (first slice = window models in order),
@@ -49,8 +69,16 @@ func AlignWindow(profiles []*profile.Profile, cuts []pipeline.Cuts, critical int
 	if critical < 0 || critical >= len(profiles) {
 		return
 	}
-	crit := stageSeconds(profiles[critical], cuts[critical])
+	scr := stealScratchPool.Get().(*stealScratch)
+	scr.crit = stageSecondsInto(scr.crit[:0], profiles[critical], cuts[critical])
+	crit := scr.crit
 	k := len(crit)
+	if cap(scr.target) < k {
+		scr.target = make([]float64, k)
+	} else {
+		scr.target = scr.target[:k]
+	}
+	target := scr.target
 	for i := range profiles {
 		if i == critical {
 			continue
@@ -61,7 +89,6 @@ func AlignWindow(profiles []*profile.Profile, cuts []pipeline.Cuts, critical int
 		// critical model's stage s+d (Algorithm 3's
 		// T_{k−1}^{i_c+1} ≈ T_k^{i_c}), clamped at the pipeline ends.
 		d := i - critical
-		target := make([]float64, k)
 		for s := 0; s < k; s++ {
 			idx := s + d
 			if idx < 0 {
@@ -72,8 +99,9 @@ func AlignWindow(profiles []*profile.Profile, cuts []pipeline.Cuts, critical int
 			}
 			target[s] = crit[idx]
 		}
-		cuts[i] = alignToTarget(profiles[i], cuts[i], target, i > critical)
+		cuts[i] = alignToTargetScratch(profiles[i], cuts[i], target, i > critical, scr)
 	}
+	stealScratchPool.Put(scr)
 }
 
 // alignToTarget greedily moves single layers across stage boundaries so the
@@ -81,22 +109,35 @@ func AlignWindow(profiles []*profile.Profile, cuts []pipeline.Cuts, critical int
 // controls the sweep direction: true processes boundaries left-to-right
 // (excess work flows to later stages), false the reverse.
 func alignToTarget(p *profile.Profile, cuts pipeline.Cuts, target []float64, rightward bool) pipeline.Cuts {
+	scr := stealScratchPool.Get().(*stealScratch)
+	out := alignToTargetScratch(p, cuts, target, rightward, scr)
+	stealScratchPool.Put(scr)
+	return out
+}
+
+// alignToTargetScratch is alignToTarget drawing its trial buffer from a
+// caller-held scratch. The returned cut vector is always freshly allocated
+// (it replaces an entry of the caller's cuts slice and outlives the
+// scratch).
+func alignToTargetScratch(p *profile.Profile, cuts pipeline.Cuts, target []float64, rightward bool, scr *stealScratch) pipeline.Cuts {
 	k := len(cuts) - 1
 	out := make(pipeline.Cuts, len(cuts))
 	copy(out, cuts)
 
-	boundaries := make([]int, 0, k-1)
-	if rightward {
-		for b := 1; b < k; b++ {
-			boundaries = append(boundaries, b)
-		}
+	if cap(scr.trial) < len(out) {
+		scr.trial = make(pipeline.Cuts, len(out))
 	} else {
-		for b := k - 1; b >= 1; b-- {
-			boundaries = append(boundaries, b)
-		}
+		scr.trial = scr.trial[:len(out)]
 	}
+	trial := scr.trial
 
-	for _, b := range boundaries {
+	// Boundaries sweep left-to-right when stealing rightward, reversed
+	// otherwise.
+	b, step := 1, 1
+	if !rightward {
+		b, step = k-1, -1
+	}
+	for ; b >= 1 && b < k; b += step {
 		// Boundary b separates stage b-1 (layers [out[b-1], out[b]-1]) and
 		// stage b. Move it to minimise the deviation of stage b-1's time
 		// from target[b-1], keeping both sides feasible.
@@ -104,7 +145,6 @@ func alignToTarget(p *profile.Profile, cuts pipeline.Cuts, target []float64, rig
 		bestDev := boundaryDeviation(p, out, b, target)
 		// Try moving left (shrink stage b-1) and right (grow stage b-1).
 		for _, dir := range [2]int{-1, 1} {
-			trial := make(pipeline.Cuts, len(out))
 			copy(trial, out)
 			for {
 				next := trial[b] + dir

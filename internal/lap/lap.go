@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrInfeasible is returned when no complete assignment avoids forbidden
@@ -18,6 +19,62 @@ var ErrInfeasible = errors.New("lap: no feasible assignment")
 // Unassigned marks a row or column that received no partner (rectangular
 // instances leave the surplus side unmatched).
 const Unassigned = -1
+
+// lapScratch holds the solver's working state — potentials, matching,
+// augmenting-path bookkeeping and the transpose copy's backing storage —
+// pooled across Solve calls. The planner's mitigation step solves one LAP
+// per candidate ordering per window, so steady-state serving would
+// otherwise churn O(n) short-lived slices per solve. Every reused buffer is
+// re-initialised below before the algorithm reads it; `way` needs none (a
+// column's way entry is always written when its minv leaves +Inf, before
+// the backtrack can visit it).
+type lapScratch struct {
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	tflat      []float64
+	trows      [][]float64
+}
+
+var lapScratchPool = sync.Pool{New: func() any { return new(lapScratch) }}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// transpose fills the scratch-backed transpose of m, reusing one flat
+// backing array plus a row-header slice across calls.
+func (s *lapScratch) transpose(m [][]float64) [][]float64 {
+	nr, nc := len(m), len(m[0])
+	if cap(s.tflat) < nr*nc {
+		s.tflat = make([]float64, nr*nc)
+	} else {
+		s.tflat = s.tflat[:nr*nc]
+	}
+	if cap(s.trows) < nc {
+		s.trows = make([][]float64, nc)
+	} else {
+		s.trows = s.trows[:nc]
+	}
+	for j := 0; j < nc; j++ {
+		row := s.tflat[j*nr : (j+1)*nr]
+		for i := 0; i < nr; i++ {
+			row[i] = m[i][j]
+		}
+		s.trows[j] = row
+	}
+	return s.trows
+}
 
 // Solve computes a minimum-cost assignment for the cost matrix. Row i
 // assigned to column j contributes cost[i][j]. When rows ≠ columns, the
@@ -49,12 +106,16 @@ func Solve(cost [][]float64) (rowTo, colTo []int, total float64, err error) {
 	}
 
 	// The JV-style shortest augmenting path formulation wants rows ≤ cols;
-	// transpose if needed.
+	// transpose if needed. The scratch (and with it the transpose copy) is
+	// pooled; it goes back once the returned slices — always freshly
+	// allocated — have been filled.
+	scr := lapScratchPool.Get().(*lapScratch)
+	defer lapScratchPool.Put(scr)
 	transposed := false
 	work := cost
 	if nr > nc {
 		transposed = true
-		work = transpose(cost)
+		work = scr.transpose(cost)
 		nr, nc = nc, nr
 	}
 
@@ -82,17 +143,33 @@ func Solve(cost [][]float64) (rowTo, colTo []int, total float64, err error) {
 
 	// Shortest-augmenting-path Hungarian algorithm with 1-based columns
 	// internally (classic formulation).
-	u := make([]float64, nr+1)
-	v := make([]float64, nc+1)
-	p := make([]int, nc+1) // p[j]: row assigned to column j (0 = none)
-	way := make([]int, nc+1)
+	u := growFloats(scr.u, nr+1)
+	v := growFloats(scr.v, nc+1)
+	p := growInts(scr.p, nc+1) // p[j]: row assigned to column j (0 = none)
+	way := growInts(scr.way, nc+1)
+	minv := growFloats(scr.minv, nc+1)
+	used := scr.used
+	if cap(used) < nc+1 {
+		used = make([]bool, nc+1)
+	} else {
+		used = used[:nc+1]
+	}
+	scr.u, scr.v, scr.p, scr.way, scr.minv, scr.used = u, v, p, way, minv, used
+	for i := range u {
+		u[i] = 0
+	}
+	for j := range v {
+		v[j] = 0
+	}
+	for j := range p {
+		p[j] = 0
+	}
 	for i := 1; i <= nr; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, nc+1)
-		used := make([]bool, nc+1)
 		for j := range minv {
 			minv[j] = math.Inf(1)
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -174,16 +251,4 @@ func Solve(cost [][]float64) (rowTo, colTo []int, total float64, err error) {
 		colTo[j] = i
 	}
 	return rowAssign, colTo, total, nil
-}
-
-func transpose(m [][]float64) [][]float64 {
-	nr, nc := len(m), len(m[0])
-	out := make([][]float64, nc)
-	for j := 0; j < nc; j++ {
-		out[j] = make([]float64, nr)
-		for i := 0; i < nr; i++ {
-			out[j][i] = m[i][j]
-		}
-	}
-	return out
 }

@@ -32,6 +32,12 @@ type PlannerReport struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Whole-plan cache traffic (zero when the plan cache is disabled): hits
+	// are windows served a memoized plan without running the two-step
+	// optimisation, misses are windows planned in full.
+	PlanCacheHits     uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses   uint64  `json:"plan_cache_misses"`
+	PlanCacheHitRatio float64 `json:"plan_cache_hit_ratio"`
 }
 
 // ExecutorReport aggregates execution-side observability across every window
@@ -69,8 +75,12 @@ type WindowReport struct {
 	PlanRetries int     `json:"plan_retries"`
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
-	DPCells     uint64  `json:"dp_cells"`
-	Interrupted bool    `json:"interrupted"`
+	// PlanCacheHits/Misses are the window's whole-plan cache traffic
+	// (both zero when the plan cache is disabled).
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	DPCells         uint64 `json:"dp_cells"`
+	Interrupted     bool   `json:"interrupted"`
 }
 
 // JSON renders the report as indented JSON.

@@ -171,12 +171,34 @@ func (ev Event) String() string {
 // of processors whose solo cost tables it staled — the set a planner must
 // re-measure. Bandwidth squeezes return no indices: bus capacity enters
 // only the co-execution slowdown model, never the solo tables.
+//
+// An event that restates the current state (an online event for a processor
+// already in service, a throttle re-asserting the active factor, a bus
+// squeeze at the current derate) is a no-op: it stales nothing, returns no
+// indices and leaves the degradation epoch untouched, so downstream caches
+// keyed on Epoch keep their entries. Every state-changing Apply bumps the
+// epoch — including bandwidth squeezes, which change the co-execution
+// slowdown model (and therefore any memoized plan) even though no solo cost
+// table goes stale.
 func (s *SoC) Apply(ev Event) ([]int, error) {
 	if err := ev.Validate(); err != nil {
 		return nil, err
 	}
+	// A zero derating field means "nominal", the same state factor 1 sets
+	// explicitly; normalise before comparing so clearing an unset knob is
+	// recognised as a no-op.
+	nominal := func(f float64) float64 {
+		if f == 0 {
+			return 1
+		}
+		return f
+	}
 	if ev.Kind == EventBandwidthSqueeze {
+		if nominal(s.BusDerate) == ev.Factor {
+			return nil, nil
+		}
 		s.BusDerate = ev.Factor
+		s.epoch++
 		return nil, nil
 	}
 	idx := -1
@@ -192,14 +214,27 @@ func (s *SoC) Apply(ev Event) ([]int, error) {
 	p := &s.Processors[idx]
 	switch ev.Kind {
 	case EventThermalThrottle:
+		if nominal(p.Degrade.ThrottleFactor) == ev.Factor {
+			return nil, nil
+		}
 		p.Degrade.ThrottleFactor = ev.Factor
 	case EventFrequencyScale:
+		if nominal(p.Degrade.FreqFraction) == ev.Factor {
+			return nil, nil
+		}
 		p.Degrade.FreqFraction = ev.Factor
 	case EventProcessorOffline:
+		if p.Degrade.Offline {
+			return nil, nil
+		}
 		p.Degrade.Offline = true
 	case EventProcessorOnline:
+		if !p.Degrade.Offline {
+			return nil, nil
+		}
 		p.Degrade.Offline = false
 	}
+	s.epoch++
 	return []int{idx}, nil
 }
 

@@ -93,6 +93,84 @@ func TestDegradationBandwidthSqueeze(t *testing.T) {
 	}
 }
 
+func TestDegradationEpochBumpsOnStateChange(t *testing.T) {
+	s := Kirin990()
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("fresh SoC epoch = %d, want 0", got)
+	}
+	steps := []Event{
+		{Kind: EventThermalThrottle, Processor: "gpu", Factor: 2},
+		{Kind: EventFrequencyScale, Processor: "cpu-big", Factor: 0.5},
+		{Kind: EventProcessorOffline, Processor: "npu"},
+		{Kind: EventProcessorOnline, Processor: "npu"},
+		{Kind: EventBandwidthSqueeze, Factor: 0.5},
+	}
+	for i, ev := range steps {
+		if _, err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.Epoch(), uint64(i+1); got != want {
+			t.Errorf("after %s: epoch = %d, want %d", ev.Kind, got, want)
+		}
+	}
+	s.BumpEpoch()
+	if got, want := s.Epoch(), uint64(len(steps)+1); got != want {
+		t.Errorf("after BumpEpoch: epoch = %d, want %d", got, want)
+	}
+}
+
+func TestDegradationNoOpEventsKeepEpoch(t *testing.T) {
+	s := Kirin990()
+	// Events restating the nominal zero-value state: no bump, no staled
+	// tables. Factor 1 must be recognised as the stored 0 ("nominal").
+	noops := []Event{
+		{Kind: EventProcessorOnline, Processor: "npu"},
+		{Kind: EventThermalThrottle, Processor: "gpu", Factor: 1},
+		{Kind: EventFrequencyScale, Processor: "cpu-big", Factor: 1},
+		{Kind: EventBandwidthSqueeze, Factor: 1},
+	}
+	for _, ev := range noops {
+		affected, err := s.Apply(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(affected) != 0 {
+			t.Errorf("no-op %s staled tables %v", ev.Kind, affected)
+		}
+		if got := s.Epoch(); got != 0 {
+			t.Errorf("no-op %s bumped epoch to %d", ev.Kind, got)
+		}
+	}
+	// Re-asserting an already-active degradation is equally a no-op.
+	if _, err := s.Apply(Event{Kind: EventThermalThrottle, Processor: "gpu", Factor: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(Event{Kind: EventProcessorOffline, Processor: "npu"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(Event{Kind: EventBandwidthSqueeze, Factor: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Epoch()
+	repeats := []Event{
+		{Kind: EventThermalThrottle, Processor: "gpu", Factor: 1.5},
+		{Kind: EventProcessorOffline, Processor: "npu"},
+		{Kind: EventBandwidthSqueeze, Factor: 0.7},
+	}
+	for _, ev := range repeats {
+		affected, err := s.Apply(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(affected) != 0 {
+			t.Errorf("repeated %s staled tables %v", ev.Kind, affected)
+		}
+	}
+	if got := s.Epoch(); got != base {
+		t.Errorf("repeated events moved epoch %d → %d", base, got)
+	}
+}
+
 func TestEventValidate(t *testing.T) {
 	bad := []Event{
 		{Kind: EventThermalThrottle, Processor: "gpu", Factor: 0.5},

@@ -247,7 +247,31 @@ type SoC struct {
 	// EventBandwidthSqueeze; 0 means nominal. It scales the co-execution
 	// slowdown model's capacity, never the solo cost tables.
 	BusDerate float64
+
+	// epoch is the monotonic degradation-epoch counter: every Apply that
+	// actually changes the SoC's runtime state (throttle, frequency,
+	// offline/online, bus squeeze) increments it, so any state derived from
+	// the SoC description — most importantly memoized whole plans — can
+	// carry the epoch as a cheap validity token instead of re-hashing the
+	// description. A no-op Apply (the event restates the current state)
+	// leaves the epoch untouched. Mutations that bypass Apply must call
+	// BumpEpoch themselves; reads and writes follow the same
+	// single-writer discipline as every other SoC field.
+	epoch uint64
 }
+
+// Epoch returns the SoC's degradation epoch — the monotonic counter of
+// state-changing Apply calls (plus manual BumpEpoch calls). Two reads
+// returning the same value bracket a span in which no degradation event
+// altered the SoC, which is what makes the epoch usable as a plan-cache
+// validity token.
+func (s *SoC) Epoch() uint64 { return s.epoch }
+
+// BumpEpoch advances the degradation epoch by hand — required after
+// mutating the SoC description in place without going through Apply
+// (frequency sweeps, thermal experiments), so epoch-keyed caches cannot
+// serve plans computed against the pre-mutation description.
+func (s *SoC) BumpEpoch() { s.epoch++ }
 
 // EffectiveBusBandwidthGBps returns the shared-bus capacity after any
 // runtime bandwidth squeeze.

@@ -123,6 +123,11 @@ type WindowStat struct {
 	// planner's lifetime counters (skewed only if another goroutine shares
 	// the planner mid-run).
 	CacheHits, CacheMisses, DPCells uint64
+	// PlanCacheHits and PlanCacheMisses are this window's deltas of the
+	// planner's whole-plan cache counters (core.Options.PlanCache); both
+	// zero when the plan cache is disabled. A steady-state window is one
+	// hit; a window planned in full is one miss.
+	PlanCacheHits, PlanCacheMisses uint64
 }
 
 // WindowTrace retains one executed window for trace emission: the schedule,
@@ -161,6 +166,11 @@ type Result struct {
 	// measurements. A steady-state stream of recurring models converges to
 	// one miss per distinct (model, batch) and hits everywhere else.
 	CacheHits, CacheMisses uint64
+	// PlanCacheHits and PlanCacheMisses are the planner's whole-plan cache
+	// counters accumulated over this run (both zero when
+	// core.Options.PlanCache is disabled): a hit is a window served a
+	// memoized plan with no partition/mitigation/steal/tail work at all.
+	PlanCacheHits, PlanCacheMisses uint64
 	// Replans counts windows interrupted by a degradation event and
 	// replanned on the degraded SoC.
 	Replans int
@@ -332,6 +342,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	}
 
 	hits0, misses0 := s.planner.CacheStats()
+	planHits0, planMisses0 := s.planner.PlanCacheStats()
 	var execAgg execAggregate
 	now := time.Duration(0)
 	next := 0       // next unadmitted arrival
@@ -397,6 +408,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		// top of every attempt so the replanned window sees the true queue,
 		// not the one frozen before the first failure.
 		hitsW, missesW := s.planner.CacheStats()
+		planHitsW, planMissesW := s.planner.PlanCacheStats()
 		cellsW := s.planner.DPCells()
 		planStart := time.Now()
 		var sched *pipeline.Schedule
@@ -443,6 +455,8 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		mPlanSeconds.ObserveDuration(ws.PlanWall)
 		hitsW2, missesW2 := s.planner.CacheStats()
 		ws.CacheHits, ws.CacheMisses = hitsW2-hitsW, missesW2-missesW
+		planHitsW2, planMissesW2 := s.planner.PlanCacheStats()
+		ws.PlanCacheHits, ws.PlanCacheMisses = planHitsW2-planHitsW, planMissesW2-planMissesW
 		ws.DPCells = s.planner.DPCells() - cellsW
 		ws.Requests = take
 
@@ -552,6 +566,8 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	// window retried after its last completion.
 	hits1, misses1 := s.planner.CacheStats()
 	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
+	planHits1, planMisses1 := s.planner.PlanCacheStats()
+	res.PlanCacheHits, res.PlanCacheMisses = planHits1-planHits0, planMisses1-planMisses0
 	res.Report = s.buildReport(res, n, &execAgg)
 	return res, nil
 }
@@ -626,8 +642,10 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 		P95SojournMS:  durMS(res.P95Sojourn()),
 		P99SojournMS:  durMS(res.SojournQuantile(99)),
 		Planner: obs.PlannerReport{
-			CacheHits:   res.CacheHits,
-			CacheMisses: res.CacheMisses,
+			CacheHits:       res.CacheHits,
+			CacheMisses:     res.CacheMisses,
+			PlanCacheHits:   res.PlanCacheHits,
+			PlanCacheMisses: res.PlanCacheMisses,
 		},
 		Executor: obs.ExecutorReport{
 			Slices:          agg.slices,
@@ -648,6 +666,9 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 	if total := res.CacheHits + res.CacheMisses; total > 0 {
 		rep.Planner.CacheHitRatio = float64(res.CacheHits) / float64(total)
 	}
+	if total := res.PlanCacheHits + res.PlanCacheMisses; total > 0 {
+		rep.Planner.PlanCacheHitRatio = float64(res.PlanCacheHits) / float64(total)
+	}
 	if agg.slowN > 0 {
 		rep.Executor.MeanSlowdown = agg.slowSum / float64(agg.slowN)
 	}
@@ -664,10 +685,12 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 			Completed:   ws.Completed,
 			Requeued:    ws.Requeued,
 			PlanRetries: ws.PlanRetries,
-			CacheHits:   ws.CacheHits,
-			CacheMisses: ws.CacheMisses,
-			DPCells:     ws.DPCells,
-			Interrupted: ws.Interrupted,
+			CacheHits:       ws.CacheHits,
+			CacheMisses:     ws.CacheMisses,
+			PlanCacheHits:   ws.PlanCacheHits,
+			PlanCacheMisses: ws.PlanCacheMisses,
+			DPCells:         ws.DPCells,
+			Interrupted:     ws.Interrupted,
 		})
 	}
 	return rep
