@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs serve-test bench bench-smoke bench-diff fuzz fuzz-degrade
+.PHONY: check build vet test race diff degrade obs serve-test fleet bench bench-smoke bench-diff fuzz fuzz-degrade fuzz-fleet
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade obs serve-test bench-smoke
+check: vet build race diff degrade obs serve-test fleet bench-smoke
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,16 @@ serve-test:
 	$(GO) test -race -count=1 -run 'TestServeObs|TestSpan|TestAttr|TestWriteOTLP|TestFeed' \
 		./internal/obs/ ./internal/stream/ ./internal/trace/ .
 
+## fleet: the sharded-serving suite under the race detector — the 1-device
+## Device-extraction differential, router policies and the consistent-hash
+## ring, graceful halt + failover/handoff accounting, the N-device concurrent
+## obs-stress run (shared registry, span ring, feed fan-out, blocking
+## subscriber), per-device labeled metrics, and the /fleet endpoint across
+## the library facade and the CLI.
+fleet:
+	$(GO) test -race -count=1 -run 'TestFleet|TestDifferentialFleet|TestPolicy|TestAffinity|TestLeastSojourn|TestDeviceSeed|TestDeviceRun|TestStreamHalt|TestStreamHandoff|TestPlanCacheHasCachedPlan|TestObsWithLabels|TestObsPrometheusLabeled|TestRunFleet' \
+		./internal/fleet/ ./internal/stream/ ./internal/obs/ ./internal/core/ ./cmd/h2pipe/ .
+
 ## bench: five interleaved repetitions with allocation stats, archived as
 ## machine-readable JSON (BENCH_<date>.json) for regression tracking.
 bench:
@@ -72,3 +82,9 @@ fuzz:
 ## with a processor going offline mid-window.
 fuzz-degrade:
 	$(GO) test -run xxx -fuzz FuzzStreamDegradation -fuzztime 30s ./internal/stream/
+
+## fuzz-fleet: short fuzz of the router's sharding invariants — every request
+## digest routes to exactly one live device, and removing a device moves only
+## the keys it owned.
+fuzz-fleet:
+	$(GO) test -run xxx -fuzz FuzzRouterShard -fuzztime 30s ./internal/fleet/

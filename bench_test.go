@@ -1,6 +1,7 @@
 package hetero2pipe_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -8,8 +9,10 @@ import (
 	"hetero2pipe/internal/baseline"
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/experiments"
+	"hetero2pipe/internal/fleet"
 	"hetero2pipe/internal/lap"
 	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
 	"hetero2pipe/internal/profile"
 	"hetero2pipe/internal/soc"
@@ -378,3 +381,56 @@ func BenchmarkPartitionParametric(b *testing.B) {
 		}
 	}
 }
+
+// benchFleetRun drives b.N full fleet runs — 24 requests sharded across
+// three mixed-preset devices under the given policy, plan caches warm after
+// the first iteration. The delta against BenchmarkStreamSteadyState bounds
+// what the fleet layer (routing, shard fan-out, merge, report) costs over a
+// bare scheduler.
+func benchFleetRun(b *testing.B, policyName string) {
+	reg := obs.NewRegistry("bench")
+	presets := []func() *soc.SoC{soc.Kirin990, soc.Snapdragon778G, soc.Snapdragon870}
+	devices := make([]*fleet.Device, len(presets))
+	for i, preset := range presets {
+		popts := core.DefaultOptions()
+		popts.PlanCache = 8
+		scfg := stream.DefaultConfig()
+		scfg.MaxWindow = 3
+		scfg.MaxBatch = 1
+		dev, err := fleet.NewDevice(fleet.DeviceSpec{
+			Name: fmt.Sprintf("dev%d", i), SoC: preset(), Planner: popts, Stream: scfg,
+		}, reg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		devices[i] = dev
+	}
+	policy, err := fleet.PolicyByName(policyName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl, err := fleet.New(devices, fleet.Config{Policy: policy, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var models []*model.Model
+	names := []string{model.ResNet50, model.SqueezeNet, model.GoogLeNet}
+	for i := 0; i < 24; i++ {
+		models = append(models, model.MustByName(names[i%len(names)]))
+	}
+	reqs := fleet.PoissonArrivals(models, time.Millisecond, 7, len(devices))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fl.Run(reqs, pipeline.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Handoffs != 0 {
+			b.Fatalf("steady-state fleet run recorded %d handoffs", res.Handoffs)
+		}
+	}
+}
+
+func BenchmarkFleetSteadyState(b *testing.B)         { benchFleetRun(b, fleet.PolicyHash) }
+func BenchmarkFleetSteadyStateAffinity(b *testing.B) { benchFleetRun(b, fleet.PolicyAffinity) }

@@ -31,6 +31,7 @@ import (
 
 	"hetero2pipe/internal/baseline"
 	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/fleet"
 	"hetero2pipe/internal/model"
 	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/obs/server"
@@ -70,6 +71,8 @@ func run(ctx context.Context, args []string) error {
 		eventsFlag = fs.String("events", "", "degradation events kind[:proc]@at[:factor], comma-separated (e.g. offline:npu@40ms,throttle:gpu@10ms:1.8); applied on the stream clock, or immediately without -stream")
 		gap        = fs.Duration("gap", 10*time.Millisecond, "mean inter-arrival gap in -stream mode")
 		window     = fs.Int("window", 8, "max requests per planning window in -stream mode")
+		fleetN     = fs.Int("fleet", 0, "shard the -stream run across N devices (device 0 is -soc, the rest cycle the mobile presets; 0 disables)")
+		policyName = fs.String("policy", "hash", "fleet routing policy: hash, least-sojourn or affinity")
 		planCache  = fs.Int("plan-cache", 0, "memoize up to N whole plans keyed by SoC epoch + window signature (0 disables); steady-state windows skip the planner entirely")
 		report     = fs.Bool("report", false, "print a structured JSON run report on stdout")
 		metricsOut = fs.String("metrics", "", "write the metrics registry in Prometheus text format to a file")
@@ -141,6 +144,23 @@ func run(ctx context.Context, args []string) error {
 	}
 	feed := stream.NewFeed(0)
 
+	// Fleet mode builds its devices (and their feeds) before the server so
+	// the /fleet endpoint and device-0 feed can be wired in.
+	var fl *fleet.Fleet
+	if *fleetN > 0 {
+		if !*streamMode {
+			return fmt.Errorf("-fleet requires -stream")
+		}
+		scfg := stream.DefaultConfig()
+		scfg.MaxWindow = *window
+		scfg.Events = events
+		fl, err = buildFleet(s, *fleetN, *policyName, opts, scfg, reg, logger, rec)
+		if err != nil {
+			return err
+		}
+		feed = fl.Devices()[0].Feed()
+	}
+
 	// The observability server runs alongside the workload and keeps serving
 	// after it completes, so the run's metrics, spans and windows stay
 	// curl-able until the process is interrupted.
@@ -152,6 +172,7 @@ func run(ctx context.Context, args []string) error {
 				Metrics: reg,
 				Spans:   rec,
 				Feed:    feed,
+				Fleet:   fl,
 				Service: s.Name,
 			}, func(a net.Addr) {
 				fmt.Printf("observability server on http://%s\n", a)
@@ -161,6 +182,21 @@ func run(ctx context.Context, args []string) error {
 			fmt.Println("observability server still serving; Ctrl-C to exit")
 			return <-srvDone
 		}
+	}
+
+	if fl != nil {
+		if err := runFleet(ctx, fl, models, *gap, streamOutputs{
+			report:     *report,
+			metricsOut: *metricsOut,
+			spansOut:   *spansOut,
+			registry:   reg,
+			logger:     logger,
+			spans:      rec,
+			service:    s.Name,
+		}); err != nil {
+			return err
+		}
+		return waitServe()
 	}
 
 	planner, err := core.NewPlanner(s, opts)
@@ -431,6 +467,79 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 				i+1, ws.Start.Seconds()*1e3, ws.End.Seconds()*1e3,
 				ws.Requests, ws.Completed, ws.Requeued, ws.EventsApplied, ws.PlanRetries, mark)
 		}
+	}
+	return nil
+}
+
+// buildFleet assembles an n-device fleet: device 0 is the -soc SoC, devices
+// 1..n−1 cycle the mixed mobile presets. All devices share the planner and
+// stream configuration and publish into reg through per-device labels.
+func buildFleet(s *soc.SoC, n int, policyName string, popts core.Options, scfg stream.Config, reg *obs.Registry, logger *slog.Logger, spans *obs.SpanRecorder) (*fleet.Fleet, error) {
+	mixed := []func() *soc.SoC{soc.Kirin990, soc.Snapdragon778G, soc.Snapdragon870}
+	devices := make([]*fleet.Device, n)
+	for i := range devices {
+		ds := s
+		if i > 0 {
+			ds = mixed[(i-1)%len(mixed)]()
+		}
+		dev, err := fleet.NewDevice(fleet.DeviceSpec{
+			Name:    fmt.Sprintf("dev%d", i),
+			SoC:     ds,
+			Planner: popts,
+			Stream:  scfg,
+		}, reg, logger)
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = dev
+	}
+	policy, err := fleet.PolicyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.New(devices, fleet.Config{Policy: policy, Metrics: reg, Logger: logger, Spans: spans})
+}
+
+// runFleet shards a Poisson arrival stream (per-device decorrelated seeds)
+// across the fleet and prints the sharded-serving statistics.
+func runFleet(ctx context.Context, fl *fleet.Fleet, models []*model.Model, gap time.Duration, out streamOutputs) error {
+	requests := fleet.PoissonArrivals(models, gap, 7, len(fl.Devices()))
+	execOpts := pipeline.DefaultOptions()
+	execOpts.Logger = out.logger
+	res, err := fl.RunContext(ctx, requests, execOpts)
+	if err != nil {
+		return err
+	}
+	if out.spansOut != "" {
+		if err := writeSpans(out.spansOut, out.spans, out.service); err != nil {
+			return err
+		}
+	}
+	if out.report {
+		raw, err := res.Report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+	}
+	if out.metricsOut != "" {
+		if err := writeMetrics(out.metricsOut, out.registry); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fleet run: %d requests over %d devices (%s policy), mean gap %v\n",
+		len(requests), len(fl.Devices()), fl.Policy(), gap)
+	fmt.Printf("makespan:           %8.2f ms\n", res.Makespan.Seconds()*1e3)
+	fmt.Printf("mean sojourn:       %8.2f ms  (p95 %.2f ms)\n",
+		res.Report.MeanSojournMS, res.Report.P95SojournMS)
+	fmt.Printf("handoffs:           %8d\n", res.Handoffs)
+	for _, d := range res.Report.PerDevice {
+		state := "live"
+		if d.Down {
+			state = "down"
+		}
+		fmt.Printf("  %-6s %-16s %-4s %4d assigned, %4d completed, %d in / %d out handoffs\n",
+			d.Device, d.SoC, state, d.Assigned, d.Completed, d.HandoffsIn, d.HandoffsOut)
 	}
 	return nil
 }

@@ -209,3 +209,40 @@ func TestRunCancelled(t *testing.T) {
 		t.Error("cancelled context did not abort the stream run")
 	}
 }
+
+func TestRunFleet(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "fleet-metrics.prom")
+	err := run(context.Background(), []string{
+		"-stream", "-fleet", "3", "-policy", "affinity",
+		"-models", "ResNet50,SqueezeNet,GoogLeNet,MobileNetV2",
+		"-gap", "2ms", "-window", "3", "-plan-cache", "8",
+		"-metrics", metricsPath,
+	})
+	if err != nil {
+		t.Fatalf("run -stream -fleet 3: %v", err)
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	for _, series := range []string{
+		"h2pipe_fleet_requests_total",
+		"h2pipe_fleet_devices 3",
+		`h2pipe_fleet_routed_total{device="dev0"}`,
+		`h2pipe_stream_windows_total{device="`,
+	} {
+		if !strings.Contains(string(prom), series) {
+			t.Errorf("fleet metrics output missing %q", series)
+		}
+	}
+}
+
+func TestRunFleetErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-fleet", "2"}); err == nil {
+		t.Error("-fleet without -stream: nil error")
+	}
+	if err := run(context.Background(), []string{"-stream", "-fleet", "2", "-policy", "nope"}); err == nil {
+		t.Error("unknown -policy: nil error")
+	}
+}

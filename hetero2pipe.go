@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hetero2pipe/internal/core"
+	"hetero2pipe/internal/fleet"
 	"hetero2pipe/internal/model"
 	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
@@ -23,14 +24,15 @@ import (
 // the co-execution slowdown model, run an online stream — with degradation
 // events, cancellation and per-window replanning — and export traces.
 
-// System couples one SoC with a configured planner.
+// System couples one SoC with a configured planner. Since the fleet layer
+// landed, a System is a thin wrapper over one fleet.Device — SoC, planner,
+// plan cache, window feed and degradation timeline bundled instance-scoped —
+// plus, under WithFleet, a Fleet whose device 0 is that same device.
 type System struct {
-	soc     *soc.SoC
-	planner *core.Planner
-	cfg     config
-	// feed is the live window outlet shared by every RunStream call and the
-	// observability server's /windows and /readyz endpoints.
-	feed *stream.Feed
+	dev *fleet.Device
+	cfg config
+	// fl is the sharded serving front-end, non-nil only under WithFleet.
+	fl *fleet.Fleet
 }
 
 // NewSystem builds a System for a preset SoC name ("Kirin990",
@@ -47,6 +49,12 @@ func NewSystem(preset string, opts ...Option) (*System, error) {
 }
 
 // NewSystemFor builds a System for a custom SoC description.
+//
+// Under WithFleet(n) the system additionally assembles an n-device fleet:
+// device 0 ("dev0") is this SoC, devices 1..n−1 cycle the mixed mobile
+// presets (Kirin 990, Snapdragon 778G, Snapdragon 870). All devices share
+// the system's planner/stream configuration, metrics registry (through
+// per-device labeled views) and logger; run the fleet with RunFleet.
 func NewSystemFor(s *soc.SoC, opts ...Option) (*System, error) {
 	if s == nil {
 		return nil, errors.New("hetero2pipe: nil SoC")
@@ -55,28 +63,66 @@ func NewSystemFor(s *soc.SoC, opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	if cfg.metrics != nil {
-		// One registry feeds every layer; option order doesn't matter
-		// because WithPlannerOptions replaces the struct before this point.
-		cfg.planner.Metrics = cfg.metrics
-		cfg.stream.Metrics = cfg.metrics
+	// fleet.NewDevice fans the registry and logger into planner and
+	// scheduler (through a `device` label when the device is named); option
+	// order doesn't matter because WithPlannerOptions replaces the struct
+	// before this point.
+	if cfg.fleetSize > 0 {
+		mixed := []func() *soc.SoC{soc.Kirin990, soc.Snapdragon778G, soc.Snapdragon870}
+		devices := make([]*fleet.Device, cfg.fleetSize)
+		for i := range devices {
+			ds := s
+			if i > 0 {
+				ds = mixed[(i-1)%len(mixed)]()
+			}
+			dev, err := fleet.NewDevice(fleet.DeviceSpec{
+				Name:    fmt.Sprintf("dev%d", i),
+				SoC:     ds,
+				Planner: cfg.planner,
+				Stream:  cfg.stream,
+			}, cfg.metrics, cfg.logger)
+			if err != nil {
+				return nil, err
+			}
+			devices[i] = dev
+		}
+		policy, err := fleet.PolicyByName(cfg.fleetPolicy)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := fleet.New(devices, fleet.Config{
+			Policy:  policy,
+			Metrics: cfg.metrics,
+			Logger:  cfg.logger,
+			Spans:   cfg.spans,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &System{dev: devices[0], cfg: cfg, fl: fl}, nil
 	}
-	if cfg.logger != nil {
-		// Same fan-out for the structured logger.
-		cfg.planner.Logger = cfg.logger
-		cfg.stream.Logger = cfg.logger
-	}
-	feed := stream.NewFeed(0)
-	cfg.stream.Feed = feed
-	planner, err := core.NewPlanner(s, cfg.planner)
+	dev, err := fleet.NewDevice(fleet.DeviceSpec{
+		SoC:     s,
+		Planner: cfg.planner,
+		Stream:  cfg.stream,
+	}, cfg.metrics, cfg.logger)
 	if err != nil {
 		return nil, err
 	}
-	return &System{soc: s, planner: planner, cfg: cfg, feed: feed}, nil
+	return &System{dev: dev, cfg: cfg}, nil
 }
 
 // SoC returns the system's SoC description.
-func (sys *System) SoC() *soc.SoC { return sys.soc }
+func (sys *System) SoC() *soc.SoC { return sys.dev.SoC() }
+
+// Device returns the system's underlying fleet device: the instance-scoped
+// bundle of SoC, planner (with plan and cost caches), window feed and
+// degradation timeline. Under WithFleet this is the fleet's device 0.
+func (sys *System) Device() *fleet.Device { return sys.dev }
+
+// Fleet returns the sharded serving front-end, or nil when the system was
+// built without WithFleet.
+func (sys *System) Fleet() *fleet.Fleet { return sys.fl }
 
 // CacheStats returns the planner's lifetime cost-cache counters: hits are
 // lookups that reused at least one memoized per-(model, processor, batch)
@@ -84,30 +130,32 @@ func (sys *System) SoC() *soc.SoC { return sys.soc }
 // Online streams of recurring models converge to one miss per distinct
 // model; a degradation event adds one miss per model only for the affected
 // processors' tables.
-func (sys *System) CacheStats() (hits, misses uint64) { return sys.planner.CacheStats() }
+func (sys *System) CacheStats() (hits, misses uint64) { return sys.dev.Planner().CacheStats() }
 
 // PlanCacheStats returns the planner's lifetime whole-plan cache counters
 // (WithPlanCache): a hit is a planning call served a memoized plan without
 // running the two-step optimisation, a miss is a call planned in full. Both
 // zero when the plan cache is disabled.
-func (sys *System) PlanCacheStats() (hits, misses uint64) { return sys.planner.PlanCacheStats() }
+func (sys *System) PlanCacheStats() (hits, misses uint64) {
+	return sys.dev.Planner().PlanCacheStats()
+}
 
 // InvalidateCache drops the planner's memoized cost tables. Required after
 // mutating the SoC description in place (e.g. frequency or thermal
 // experiments); the next plan re-measures every model. To invalidate only
 // the processors touched by a degradation event, use ApplyEvent instead.
-func (sys *System) InvalidateCache() { sys.planner.InvalidateCache() }
+func (sys *System) InvalidateCache() { sys.dev.Planner().InvalidateCache() }
 
 // ApplyEvent applies one degradation event to the SoC immediately and
 // invalidates only the affected processors' cost tables. RunStream does
 // this automatically for configured events; ApplyEvent is the manual hook
 // for offline experiments.
 func (sys *System) ApplyEvent(ev Event) error {
-	affected, err := sys.soc.Apply(ev)
+	affected, err := sys.dev.SoC().Apply(ev)
 	if err != nil {
 		return err
 	}
-	sys.planner.InvalidateProcessors(affected...)
+	sys.dev.Planner().InvalidateProcessors(affected...)
 	return nil
 }
 
@@ -162,7 +210,7 @@ func (sys *System) RunModels(models []*model.Model) (*Result, error) {
 // RunModelsContext is RunModels under a cancellable context.
 func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) (*Result, error) {
 	ctx = obs.ContextWithRecorder(ctx, sys.cfg.spans)
-	plan, err := sys.planner.PlanModelsContext(ctx, models)
+	plan, err := sys.dev.Planner().PlanModelsContext(ctx, models)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -186,11 +234,11 @@ func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) 
 // SerialBaseline returns the serial big-CPU latency of the named models —
 // the vanilla-MNN reference to quote speedups against.
 func (sys *System) SerialBaseline(modelNames ...string) (time.Duration, error) {
-	bigs := sys.soc.ProcessorsOfKind(soc.KindCPUBig)
+	bigs := sys.dev.SoC().ProcessorsOfKind(soc.KindCPUBig)
 	if len(bigs) == 0 {
 		return 0, fmt.Errorf("%w: SoC has no big CPU cluster", ErrNoProcessor)
 	}
-	big := &sys.soc.Processors[bigs[0]]
+	big := &sys.dev.SoC().Processors[bigs[0]]
 	var total time.Duration
 	for _, name := range modelNames {
 		m, err := model.ByName(name)
@@ -301,35 +349,58 @@ func (sys *System) RunStream(requests []StreamRequest, cfg StreamConfig) (*Strea
 // apply when cfg carries no events of its own; cfg.Events, when set,
 // takes precedence for this run.
 func (sys *System) RunStreamContext(ctx context.Context, requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
-	if cfg.MaxWindow == 0 {
-		// Zero-value config: inherit the system-level stream settings
-		// (WithWindow, WithMaxBatch, WithDegradationEvents), keeping any
-		// events the caller did set.
-		events := cfg.Events
-		cfg = sys.cfg.stream
-		if events != nil {
-			cfg.Events = events
-		}
-	} else if cfg.Events == nil {
-		cfg.Events = sys.cfg.stream.Events
-	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = sys.cfg.stream.Metrics
-	}
-	if cfg.Logger == nil {
-		cfg.Logger = sys.cfg.stream.Logger
-	}
-	if cfg.Feed == nil {
-		cfg.Feed = sys.feed
-	}
-	sched, err := stream.NewScheduler(sys.planner, cfg)
-	if err != nil {
-		return nil, err
-	}
+	// The zero-value-config inheritance (WithWindow, WithMaxBatch,
+	// WithDegradationEvents, metrics/logger/feed fan-in) lives on the
+	// device now — stream scheduling is instance-scoped.
 	ctx = obs.ContextWithRecorder(ctx, sys.cfg.spans)
 	execOpts := pipeline.DefaultOptions()
 	execOpts.Logger = cfg.Logger
-	res, err := sched.RunContext(ctx, requests, execOpts)
+	if execOpts.Logger == nil {
+		execOpts.Logger = sys.cfg.logger
+	}
+	res, err := sys.dev.Run(ctx, requests, cfg, execOpts)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return res, nil
+}
+
+// FleetResult re-exports the fleet run summary: per-device results, fleet
+// completions/sojourns indexed by request, handoff counts and the merged
+// FleetReport.
+type FleetResult = fleet.Result
+
+// FleetReport re-exports the merged fleet run report (per-device rows plus
+// the fleet-wide roll-up).
+type FleetReport = obs.FleetReport
+
+// FleetStatus re-exports the fleet's live state — the payload of the
+// observability server's /fleet endpoint.
+type FleetStatus = fleet.Status
+
+// FleetPoissonArrivals generates a fleet-wide arrival sequence whose
+// per-device substreams are decorrelated via per-device seeds (splitmix64
+// over one base seed), merged arrival-sorted. devices ≤ 1 matches
+// stream.PoissonArrivals exactly.
+func FleetPoissonArrivals(models []*model.Model, meanGap time.Duration, seed uint64, devices int) []StreamRequest {
+	return fleet.PoissonArrivals(models, meanGap, seed, devices)
+}
+
+// RunFleet shards an arrival-ordered request stream across the fleet
+// (WithFleet) and runs every device's shard concurrently, failing halted
+// devices' backlogs over to healthy peers.
+func (sys *System) RunFleet(requests []StreamRequest) (*FleetResult, error) {
+	return sys.RunFleetContext(context.Background(), requests)
+}
+
+// RunFleetContext is RunFleet under a cancellable context.
+func (sys *System) RunFleetContext(ctx context.Context, requests []StreamRequest) (*FleetResult, error) {
+	if sys.fl == nil {
+		return nil, errors.New("hetero2pipe: system built without WithFleet")
+	}
+	execOpts := pipeline.DefaultOptions()
+	execOpts.Logger = sys.cfg.logger
+	res, err := sys.fl.RunContext(ctx, requests, execOpts)
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}

@@ -196,6 +196,16 @@ func (c *planCache) stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// contains reports whether key is memoized with a structural match, without
+// touching the LRU order or the hit/miss counters — the read-only peek
+// behind Planner.HasCachedPlan.
+func (c *planCache) contains(key planKey, models []*model.Model) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	return ok && sameModels(el.Value.(*planEntry).models, models)
+}
+
 // len returns the current entry count (tests inspect the LRU bound).
 func (c *planCache) len() int {
 	c.mu.Lock()
@@ -257,4 +267,17 @@ func (pl *Planner) PlanCacheStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return pl.planCache.stats()
+}
+
+// HasCachedPlan reports whether a plan for the given window of models — in
+// window order, at the SoC's current degradation epoch, under this planner's
+// options — is memoized right now. It is a pure peek: no LRU reordering, no
+// hit/miss accounting, so routing layers (the fleet's plan-cache affinity
+// policy) can probe candidate devices without skewing cache statistics.
+// Always false when the plan cache is disabled.
+func (pl *Planner) HasCachedPlan(models []*model.Model) bool {
+	if pl.planCache == nil {
+		return false
+	}
+	return pl.planCache.contains(planSignature(pl.soc.Epoch(), pl.optsFP, models), models)
 }

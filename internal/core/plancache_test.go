@@ -480,3 +480,63 @@ func FuzzPlanCacheKey(f *testing.F) {
 		}
 	})
 }
+
+// TestPlanCacheHasCachedPlan: the affinity router's read-only peek must
+// report membership without counting as cache traffic, without promoting the
+// entry in LRU order, and must go stale with the degradation epoch like any
+// other signature.
+func TestPlanCacheHasCachedPlan(t *testing.T) {
+	s := soc.Kirin990()
+	pl := newCachedPlanner(t, s, 2)
+	winA := mustModels(t, model.SqueezeNet)
+	winB := mustModels(t, model.MobileNetV2)
+	winC := mustModels(t, model.AlexNet)
+
+	if pl.HasCachedPlan(winA) {
+		t.Fatal("empty cache claims a plan for window A")
+	}
+	for _, win := range [][]*model.Model{winA, winB} {
+		if _, err := pl.PlanModels(win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits0, misses0 := pl.PlanCacheStats()
+	if !pl.HasCachedPlan(winA) || !pl.HasCachedPlan(winB) {
+		t.Fatal("cached windows not reported")
+	}
+	if pl.HasCachedPlan(winC) {
+		t.Fatal("never-planned window reported cached")
+	}
+	if h, m := pl.PlanCacheStats(); h != hits0 || m != misses0 {
+		t.Errorf("peek counted as cache traffic: hits %d→%d misses %d→%d", hits0, h, misses0, m)
+	}
+
+	// The peek must not promote: A is the LRU entry; peeking it and then
+	// inserting C must still evict A, not B.
+	if !pl.HasCachedPlan(winA) {
+		t.Fatal("window A vanished")
+	}
+	if _, err := pl.PlanModels(winC); err != nil {
+		t.Fatal(err)
+	}
+	if pl.HasCachedPlan(winA) {
+		t.Error("peek promoted window A in LRU order (B should have survived)")
+	}
+	if !pl.HasCachedPlan(winB) || !pl.HasCachedPlan(winC) {
+		t.Error("expected windows B and C to survive the eviction")
+	}
+
+	// An epoch bump retires every signature.
+	if _, err := s.Apply(soc.Event{Kind: soc.EventThermalThrottle, Processor: "cpu-big", Factor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if pl.HasCachedPlan(winB) || pl.HasCachedPlan(winC) {
+		t.Error("plans survive a degradation epoch bump through the peek")
+	}
+
+	// Cache disabled: always false, never a panic.
+	off := newCachedPlanner(t, soc.Kirin990(), 0)
+	if off.HasCachedPlan(winA) {
+		t.Error("cache-disabled planner claims a cached plan")
+	}
+}

@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/stream"
+)
+
+// PoissonArrivals generates a fleet-wide arrival sequence from one base
+// seed: models are dealt round-robin across devices-many independent
+// Poisson substreams, each seeded with stream.DeviceSeed(seed, d) so no two
+// substreams correlate (a shared or naively-offset seed would give every
+// device near-identical gap sequences through the generator's LCG), and the
+// substreams are merged back into one arrival-sorted request list for the
+// router to shard. devices ≤ 1 degrades to stream.PoissonArrivals
+// unchanged, so single-device callers keep their exact historical streams.
+func PoissonArrivals(models []*model.Model, meanGap time.Duration, seed uint64, devices int) []stream.Request {
+	if devices <= 1 {
+		return stream.PoissonArrivals(models, meanGap, seed)
+	}
+	out := make([]stream.Request, 0, len(models))
+	for d := 0; d < devices; d++ {
+		var sub []*model.Model
+		for i := d; i < len(models); i += devices {
+			sub = append(sub, models[i])
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		// Each substream keeps the fleet-wide mean rate: devices-many
+		// substreams at devices× the per-stream gap superpose back to a
+		// Poisson process with the requested mean gap.
+		out = append(out, stream.PoissonArrivals(sub, meanGap*time.Duration(devices), stream.DeviceSeed(seed, d))...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Arrival < out[b].Arrival })
+	return out
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+)
+
+// fuzzKeys derives keyCount pseudo-random ring keys from a base seed with a
+// splitmix64 walk — deterministic per seed, so failures replay exactly.
+func fuzzKeys(seed uint64, keyCount int) []uint64 {
+	keys := make([]uint64, keyCount)
+	z := seed
+	for i := range keys {
+		z += 0x9E3779B97F4A7C15
+		x := z
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		keys[i] = x ^ (x >> 31)
+	}
+	return keys
+}
+
+// FuzzRouterShard pins the router's two sharding invariants on the
+// consistent-hash ring under arbitrary request digests and device up/down
+// masks:
+//
+//  1. Exactly-one-live-device: every key routes to exactly one device, and
+//     that device is live, for any non-empty live set.
+//  2. Minimal disruption: taking one device down moves only the keys that
+//     device owned — every other key keeps its device.
+func FuzzRouterShard(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(32))
+	f.Add(uint64(42), uint8(0b0101_0101), uint16(64))
+	f.Add(uint64(0xDEADBEEF), uint8(0b1111_1110), uint16(16))
+	f.Add(uint64(7), uint8(0b1000_0001), uint16(128))
+	f.Fuzz(func(t *testing.T, seed uint64, downMask uint8, keyCount uint16) {
+		const n = 8
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("dev%d", i)
+		}
+		ring := NewRing(names)
+		keys := fuzzKeys(seed, int(keyCount%512)+1)
+
+		allLive := func(int) bool { return true }
+		owner := make([]int, len(keys))
+		for i, k := range keys {
+			dev, ok := ring.Lookup(k, allLive)
+			if !ok || dev < 0 || dev >= n {
+				t.Fatalf("key %#x: Lookup = (%d, %t) with every device live", k, dev, ok)
+			}
+			// Exactly one device: a second lookup must agree.
+			again, _ := ring.Lookup(k, allLive)
+			if again != dev {
+				t.Fatalf("key %#x: Lookup not deterministic (%d then %d)", k, dev, again)
+			}
+			owner[i] = dev
+		}
+
+		// Take one device down: only its keys may move.
+		departed := int(seed % n)
+		withoutDeparted := func(dev int) bool { return dev != departed }
+		for i, k := range keys {
+			dev, ok := ring.Lookup(k, withoutDeparted)
+			if !ok || dev == departed {
+				t.Fatalf("key %#x routed to departed device %d (ok=%t)", k, departed, ok)
+			}
+			if owner[i] != departed && dev != owner[i] {
+				t.Fatalf("key %#x moved %d→%d though only device %d departed",
+					k, owner[i], dev, departed)
+			}
+		}
+
+		// Arbitrary up/down mask (bit d set = device d down): every key must
+		// still land on exactly one live device while any device survives.
+		if bits.OnesCount8(downMask) == n {
+			downMask &^= 1 // keep at least dev0 live
+		}
+		masked := func(dev int) bool { return downMask&(1<<uint(dev)) == 0 }
+		for _, k := range keys {
+			dev, ok := ring.Lookup(k, masked)
+			if !ok {
+				t.Fatalf("key %#x: no device found with mask %08b", k, downMask)
+			}
+			if !masked(dev) {
+				t.Fatalf("key %#x routed to down device %d (mask %08b)", k, dev, downMask)
+			}
+		}
+
+		// Empty live set is the one unroutable case and must say so.
+		if _, ok := ring.Lookup(keys[0], func(int) bool { return false }); ok {
+			t.Fatal("Lookup claimed success with no live devices")
+		}
+	})
+}

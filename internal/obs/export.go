@@ -7,53 +7,100 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders a snapshot of the registry in the Prometheus text
 // exposition format. Metric names are prefixed with the registry name and
-// sanitised to [a-zA-Z0-9_]. Histograms are rendered as cumulative
-// _bucket{le="..."} series plus _sum and _count, matching the native
-// Prometheus histogram type.
+// sanitised to [a-zA-Z0-9_]. Series registered through labeled views
+// (Registry.WithLabels) keep their label block: `name{device="dev0"}`
+// renders as the same series under the sanitised base name, and one TYPE
+// line covers every label permutation of a base name. Histograms are
+// rendered as cumulative _bucket{le="..."} series plus _sum and _count,
+// matching the native Prometheus histogram type; a labeled histogram's
+// block merges ahead of the le label.
 func WritePrometheus(w io.Writer, r *Registry) error {
 	s := r.Snapshot()
 	prefix := sanitize(s.Name)
 	if prefix != "" {
 		prefix += "_"
 	}
+	typed := make(map[string]bool)
+	typeLine := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
 
 	for _, name := range sortedKeys(s.Counters) {
-		full := prefix + sanitize(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, s.Counters[name]); err != nil {
+		base, labels := splitSeries(name)
+		full := prefix + sanitize(base)
+		if err := typeLine(full, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", full, labelBlock(labels), s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		full := prefix + sanitize(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", full, full, formatFloat(s.Gauges[name])); err != nil {
+		base, labels := splitSeries(name)
+		full := prefix + sanitize(base)
+		if err := typeLine(full, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", full, labelBlock(labels), formatFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
-		full := prefix + sanitize(name)
+		base, labels := splitSeries(name)
+		full := prefix + sanitize(base)
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+		if err := typeLine(full, "histogram"); err != nil {
 			return err
+		}
+		le := func(bound string) string {
+			if labels == "" {
+				return `{le="` + bound + `"}`
+			}
+			return "{" + labels + `,le="` + bound + `"}`
 		}
 		cum := uint64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Buckets[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", full, escapeLabel(formatFloat(bound)), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", full, le(escapeLabel(formatFloat(bound))), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", full, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", full, le("+Inf"), h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", full, formatFloat(h.Sum), full, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			full, labelBlock(labels), formatFloat(h.Sum), full, labelBlock(labels), h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// splitSeries separates a snapshot key into its base instrument name and the
+// label block a WithLabels view decorated it with ("" when unlabeled).
+func splitSeries(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// labelBlock re-wraps a split label set for emission ("" stays empty).
+func labelBlock(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
 }
 
 // PublishExpvar publishes the registry as a single expvar variable named
@@ -85,7 +132,18 @@ func sortedKeys[V any](m map[string]V) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	// Order by (base, labels) rather than raw key so every label
+	// permutation of one base name stays contiguous in the exposition —
+	// '{' sorts above letters, which would otherwise let an unrelated base
+	// slot between a series and its labeled variants.
+	sort.Slice(keys, func(i, j int) bool {
+		bi, li := splitSeries(keys[i])
+		bj, lj := splitSeries(keys[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return li < lj
+	})
 	return keys
 }
 

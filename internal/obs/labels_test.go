@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestObsWithLabelsSharedStore: labeled views must key their series apart
+// while writing into one shared instrument store.
+func TestObsWithLabelsSharedStore(t *testing.T) {
+	reg := NewRegistry("h2pipe")
+	v0 := reg.WithLabels("device", "dev0")
+	v1 := reg.WithLabels("device", "dev1")
+
+	reg.Counter("stream_windows_total").Add(1)
+	v0.Counter("stream_windows_total").Add(2)
+	v1.Counter("stream_windows_total").Add(3)
+	v0.Gauge("fleet_devices").Set(4)
+	v0.Histogram("stream_sojourn_seconds", LatencyBuckets()).Observe(0.5)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["stream_windows_total"]; got != 1 {
+		t.Errorf("unlabeled series = %d, want 1", got)
+	}
+	if got := snap.Counters[`stream_windows_total{device="dev0"}`]; got != 2 {
+		t.Errorf(`dev0 series = %d, want 2`, got)
+	}
+	if got := snap.Counters[`stream_windows_total{device="dev1"}`]; got != 3 {
+		t.Errorf(`dev1 series = %d, want 3`, got)
+	}
+	if got := snap.Gauges[SeriesName("fleet_devices", "device", "dev0")]; got != 4 {
+		t.Errorf("labeled gauge = %v, want 4", got)
+	}
+	if h, ok := snap.Histograms[SeriesName("stream_sojourn_seconds", "device", "dev0")]; !ok || h.Count != 1 {
+		t.Errorf("labeled histogram missing or miscounted: %+v", h)
+	}
+
+	// Same view twice → same instrument; different view → different one.
+	if reg.WithLabels("device", "dev0").Counter("stream_windows_total") != v0.Counter("stream_windows_total") {
+		t.Error("equivalent labeled views returned distinct counters")
+	}
+	if v0.Counter("stream_windows_total") == v1.Counter("stream_windows_total") {
+		t.Error("distinct labeled views share one counter")
+	}
+}
+
+// TestObsWithLabelsEdgeCases pins the defensive behavior: nil receivers stay
+// nil, odd kv lists are rejected, label values are escaped, views stack.
+func TestObsWithLabelsEdgeCases(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.WithLabels("device", "dev0") != nil {
+		t.Error("nil registry did not stay nil through WithLabels")
+	}
+	nilReg.WithLabels("device", "dev0").Counter("x").Inc() // must not panic
+
+	reg := NewRegistry("h2pipe")
+	if got := reg.WithLabels("odd"); got != reg {
+		t.Error("odd-length kv list did not return the receiver unchanged")
+	}
+	if got := reg.WithLabels(); got != reg {
+		t.Error("empty kv list did not return the receiver unchanged")
+	}
+
+	stacked := reg.WithLabels("device", "dev0").WithLabels("shard", "a")
+	if got, want := stacked.Labels(), `device="dev0",shard="a"`; got != want {
+		t.Errorf("stacked labels = %q, want %q", got, want)
+	}
+	if got, want := SeriesName("m", "k", `ev"il\`), `m{k="ev\"il\\"}`; got != want {
+		t.Errorf("escaped series name = %q, want %q", got, want)
+	}
+	if got, want := SeriesName("m"), "m"; got != want {
+		t.Errorf("label-less SeriesName = %q, want %q", got, want)
+	}
+}
+
+// TestObsPrometheusLabeled pins the labeled exposition: one TYPE line per
+// base name, contiguous label permutations, label blocks merged ahead of a
+// histogram's le label.
+func TestObsPrometheusLabeled(t *testing.T) {
+	reg := NewRegistry("h2pipe")
+	reg.Counter("stream_windows_total").Add(1)
+	reg.WithLabels("device", "dev0").Counter("stream_windows_total").Add(2)
+	reg.WithLabels("device", "dev1").Counter("stream_windows_total").Add(3)
+	reg.WithLabels("device", "dev0").Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.05)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "# TYPE h2pipe_stream_windows_total counter"); got != 1 {
+		t.Errorf("TYPE lines for the counter base = %d, want 1\n%s", got, out)
+	}
+	for _, line := range []string{
+		"h2pipe_stream_windows_total 1",
+		`h2pipe_stream_windows_total{device="dev0"} 2`,
+		`h2pipe_stream_windows_total{device="dev1"} 3`,
+		`h2pipe_lat_seconds_bucket{device="dev0",le="0.1"} 1`,
+		`h2pipe_lat_seconds_bucket{device="dev0",le="+Inf"} 1`,
+		`h2pipe_lat_seconds_sum{device="dev0"} 0.05`,
+		`h2pipe_lat_seconds_count{device="dev0"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q\n%s", line, out)
+		}
+	}
+	// The three series of the base name must be contiguous (TYPE line, then
+	// unlabeled, then both labeled variants).
+	idx := strings.Index(out, "# TYPE h2pipe_stream_windows_total counter")
+	block := out[idx:]
+	if end := strings.Index(block[1:], "# TYPE"); end >= 0 {
+		block = block[:end+1]
+	}
+	if strings.Count(block, "h2pipe_stream_windows_total") != 4 { // TYPE + 3 series
+		t.Errorf("label permutations not contiguous under one TYPE block:\n%s", out)
+	}
+}

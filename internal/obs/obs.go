@@ -13,6 +13,7 @@ package obs
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,9 +21,22 @@ import (
 
 // Registry is a named collection of metric instruments. Instruments are
 // created lazily on first access and shared by name afterwards.
+//
+// A registry may carry a label set (WithLabels): labeled views share their
+// parent's instrument store but register instruments under decorated
+// `name{key="value"}` series keys, the scheme the fleet layer uses to give
+// every device its own series in one shared registry.
 type Registry struct {
 	name string
+	// labels is the preformatted label block (`device="dev0"`), empty for
+	// the root view. Series keys are name + "{" + labels + "}".
+	labels string
+	store  *registryStore
+}
 
+// registryStore is the instrument state shared by a registry and every
+// labeled view derived from it.
+type registryStore struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -33,10 +47,12 @@ type Registry struct {
 // the Prometheus and expvar exports (e.g. "h2pipe_planner_plans_total").
 func NewRegistry(name string) *Registry {
 	return &Registry{
-		name:     name,
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		name: name,
+		store: &registryStore{
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+		},
 	}
 }
 
@@ -48,25 +64,77 @@ func (r *Registry) Name() string {
 	return r.name
 }
 
+// WithLabels returns a view of the registry whose instruments live under
+// `name{key="value",...}` series keys. The view shares the parent's
+// instrument store — Snapshot and the exporters see every view's series —
+// so N concurrent views hammer one lock-free store, not N silos. Pairs
+// append to any labels the receiver already carries; an odd-length kv list
+// is rejected by returning the receiver unchanged. A nil registry stays
+// nil (detached instruments all the way down).
+func (r *Registry) WithLabels(kv ...string) *Registry {
+	if r == nil || len(kv) == 0 || len(kv)%2 != 0 {
+		return r
+	}
+	var b strings.Builder
+	b.WriteString(r.labels)
+	for i := 0; i < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return &Registry{name: r.name, labels: b.String(), store: r.store}
+}
+
+// Labels reports the view's preformatted label block ("" for the root view
+// or a nil registry).
+func (r *Registry) Labels() string {
+	if r == nil {
+		return ""
+	}
+	return r.labels
+}
+
+// SeriesName decorates an instrument name with a label block the way
+// WithLabels views key their instruments: `name{key="value"}`. Use it to
+// look labeled series up in a Snapshot.
+func SeriesName(name string, kv ...string) string {
+	v := (&Registry{}).WithLabels(kv...)
+	return v.key(name)
+}
+
+// key returns the series key name registers under in this view.
+func (r *Registry) key(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	return name + "{" + r.labels + "}"
+}
+
 // Counter returns the counter registered under name, creating it if needed.
 // A nil registry returns a detached counter.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return &Counter{}
 	}
-	r.mu.RLock()
-	c, ok := r.counters[name]
-	r.mu.RUnlock()
+	name = r.key(name)
+	st := r.store
+	st.mu.RLock()
+	c, ok := st.counters[name]
+	st.mu.RUnlock()
 	if ok {
 		return c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok = r.counters[name]; ok {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if c, ok = st.counters[name]; ok {
 		return c
 	}
 	c = &Counter{}
-	r.counters[name] = c
+	st.counters[name] = c
 	return c
 }
 
@@ -76,19 +144,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return &Gauge{}
 	}
-	r.mu.RLock()
-	g, ok := r.gauges[name]
-	r.mu.RUnlock()
+	name = r.key(name)
+	st := r.store
+	st.mu.RLock()
+	g, ok := st.gauges[name]
+	st.mu.RUnlock()
 	if ok {
 		return g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok = r.gauges[name]; ok {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if g, ok = st.gauges[name]; ok {
 		return g
 	}
 	g = &Gauge{}
-	r.gauges[name] = g
+	st.gauges[name] = g
 	return g
 }
 
@@ -101,19 +171,21 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return newHistogram(bounds)
 	}
-	r.mu.RLock()
-	h, ok := r.hists[name]
-	r.mu.RUnlock()
+	name = r.key(name)
+	st := r.store
+	st.mu.RLock()
+	h, ok := st.hists[name]
+	st.mu.RUnlock()
 	if ok {
 		return h
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok = r.hists[name]; ok {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if h, ok = st.hists[name]; ok {
 		return h
 	}
 	h = newHistogram(bounds)
-	r.hists[name] = h
+	st.hists[name] = h
 	return h
 }
 
@@ -239,31 +311,33 @@ type HistogramSnapshot struct {
 	Sum     float64   `json:"sum"`
 }
 
-// Snapshot copies the current value of every instrument. It holds the
-// registry read lock only while walking the instrument maps; values are
+// Snapshot copies the current value of every instrument — including every
+// labeled view's series, keyed by their decorated names. It holds the
+// store read lock only while walking the instrument maps; values are
 // read with atomic loads, so concurrent writers are never blocked.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	st := r.store
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	s := Snapshot{Name: r.name}
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]uint64, len(r.counters))
-		for name, c := range r.counters {
+	if len(st.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(st.counters))
+		for name, c := range st.counters {
 			s.Counters[name] = c.Value()
 		}
 	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]float64, len(r.gauges))
-		for name, g := range r.gauges {
+	if len(st.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(st.gauges))
+		for name, g := range st.gauges {
 			s.Gauges[name] = g.Value()
 		}
 	}
-	if len(r.hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
-		for name, h := range r.hists {
+	if len(st.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(st.hists))
+		for name, h := range st.hists {
 			hs := HistogramSnapshot{
 				Bounds:  append([]float64(nil), h.bounds...),
 				Buckets: make([]uint64, len(h.counts)),

@@ -60,6 +60,13 @@ type StreamReport struct {
 	PlanRetries    int `json:"plan_retries"`
 	DeadlineMisses int `json:"deadline_misses"`
 	EventsApplied  int `json:"events_applied"`
+	// Handoffs counts requests completed in this run that were re-admitted
+	// by fleet failover from another device; Halted marks a run stopped by
+	// an exhausted plan-retry budget under HaltInfeasible, with Unfinished
+	// requests left for the fleet router to re-route.
+	Handoffs   int  `json:"handoffs,omitempty"`
+	Halted     bool `json:"halted,omitempty"`
+	Unfinished int  `json:"unfinished,omitempty"`
 }
 
 // WindowReport is the per-window row of the report table.
@@ -81,9 +88,51 @@ type WindowReport struct {
 	PlanCacheMisses uint64 `json:"plan_cache_misses"`
 	DPCells         uint64 `json:"dp_cells"`
 	Interrupted     bool   `json:"interrupted"`
+	// Handoffs counts the requests completed in this window that arrived
+	// via fleet failover from another device.
+	Handoffs int `json:"handoffs,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
 func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FleetReport is the merged report of one fleet run: the fleet-wide roll-up
+// plus every device's own RunReport. Built by the fleet layer
+// (internal/fleet) as a pure projection of its Result, the same invariant
+// RunReport keeps with stream.Result.
+type FleetReport struct {
+	Devices       int     `json:"devices"`
+	Policy        string  `json:"policy"`
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	Handoffs      int     `json:"handoffs"`
+	MakespanMS    float64 `json:"makespan_ms"`
+	MeanSojournMS float64 `json:"mean_sojourn_ms"`
+	P95SojournMS  float64 `json:"p95_sojourn_ms"`
+
+	PerDevice []FleetDeviceReport `json:"per_device"`
+}
+
+// FleetDeviceReport is one device's row of the fleet report.
+type FleetDeviceReport struct {
+	Device    string `json:"device"`
+	SoC       string `json:"soc"`
+	Down      bool   `json:"down"`
+	Assigned  int    `json:"assigned"`
+	Completed int    `json:"completed"`
+	// HandoffsIn counts requests this device completed for failed peers;
+	// HandoffsOut counts requests this device abandoned to failover.
+	HandoffsIn  int `json:"handoffs_in"`
+	HandoffsOut int `json:"handoffs_out"`
+	// Report is the device's primary-shard run report; HandoffReports holds
+	// one report per failover batch replayed onto this device.
+	Report         *RunReport   `json:"report,omitempty"`
+	HandoffReports []*RunReport `json:"handoff_reports,omitempty"`
+}
+
+// JSON renders the fleet report as indented JSON.
+func (r *FleetReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }

@@ -17,6 +17,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"hetero2pipe/internal/fleet"
 	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/stream"
 )
@@ -33,6 +34,9 @@ type Config struct {
 	// Feed backs /windows (ring snapshot or SSE) and /readyz (ready while a
 	// stream run is accepting admissions).
 	Feed *stream.Feed
+	// Fleet backs /fleet (live sharded-serving status: per-device
+	// assignment, completion and handoff counts).
+	Fleet *fleet.Fleet
 	// Service names the OTLP resource; empty defaults to "hetero2pipe".
 	Service string
 }
@@ -46,6 +50,7 @@ type Config struct {
 //	/readyz         200 while a stream run accepts admissions, else 503
 //	/windows        live WindowStats: JSON array, or SSE with ?sse=1
 //	/spans          the span ring as OTLP/JSON
+//	/fleet          live fleet status (Config.Fleet)
 func Handler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +105,16 @@ func Handler(cfg Config) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = obs.WriteOTLP(w, cfg.Spans, service)
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Fleet == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Fleet.Status())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -44,6 +44,11 @@ type Request struct {
 	// Arrival+Deadline counts a deadline miss in the result (the request
 	// still runs to completion — misses are reported, not dropped).
 	Deadline time.Duration
+	// Handoff marks a request re-admitted by fleet failover after its
+	// original device went down. Completions of handoff requests are counted
+	// on WindowStat.Handoffs and Result.Handoffs (and the
+	// stream_handoffs_total counter); scheduling is otherwise identical.
+	Handoff bool
 }
 
 // Config tunes the online scheduler.
@@ -68,6 +73,13 @@ type Config struct {
 	// max(RetryBackoff, 1s) so arbitrarily large retry budgets never
 	// overflow the virtual clock. Zero selects a default of 500µs.
 	RetryBackoff time.Duration
+	// HaltInfeasible turns an exhausted plan-retry budget from a run error
+	// into a graceful halt: instead of failing, RunContext returns the
+	// partial Result with Halted set, HaltedAt the virtual halt instant, and
+	// Unfinished listing every request index not yet completed — the hook
+	// fleet failover uses to re-route a dead device's backlog onto a healthy
+	// peer. Non-infeasibility planning errors still fail the run.
+	HaltInfeasible bool
 	// Metrics, when set, receives stream-scheduler observability
 	// (stream_windows_total, stream_replans_total, stream_requeues_total,
 	// stream_plan_retries_total, stream_deadline_misses_total,
@@ -128,6 +140,9 @@ type WindowStat struct {
 	// zero when the plan cache is disabled. A steady-state window is one
 	// hit; a window planned in full is one miss.
 	PlanCacheHits, PlanCacheMisses uint64
+	// Handoffs counts completions in this window of requests re-admitted by
+	// fleet failover (Request.Handoff).
+	Handoffs int
 }
 
 // WindowTrace retains one executed window for trace emission: the schedule,
@@ -184,6 +199,17 @@ type Result struct {
 	DeadlineMisses int
 	// EventsApplied counts degradation events consumed during the run.
 	EventsApplied int
+	// Handoffs counts completed requests that carried Request.Handoff — work
+	// this run finished on behalf of a failed fleet peer.
+	Handoffs int
+	// Halted marks a run stopped gracefully by Config.HaltInfeasible after
+	// an exhausted plan-retry budget; HaltedAt is the virtual instant the
+	// budget ran out and Unfinished lists every request index (queued or not
+	// yet arrived) left incomplete. Their Completions/Sojourns slots are
+	// zero. All three are zero-valued on a run that finishes normally.
+	Halted     bool
+	HaltedAt   time.Duration
+	Unfinished []int
 	// WindowStats details each planning window in order.
 	WindowStats []WindowStat
 	// Report is the structured run report, always populated on success; its
@@ -312,6 +338,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	mPlanRetries := reg.Counter("stream_plan_retries_total")
 	mDeadlineMisses := reg.Counter("stream_deadline_misses_total")
 	mEvents := reg.Counter("stream_events_applied_total")
+	mHandoffs := reg.Counter("stream_handoffs_total")
 	mPlanSeconds := reg.Histogram("stream_window_plan_seconds", obs.LatencyBuckets())
 	mExecSeconds := reg.Histogram("stream_window_exec_seconds", obs.LatencyBuckets())
 	mSojourn := reg.Histogram("stream_sojourn_seconds", obs.LatencyBuckets())
@@ -370,10 +397,15 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		return applied, nil
 	}
 
-	record := func(global int, done time.Duration, sp *obs.Span) {
+	record := func(global int, done time.Duration, ws *WindowStat, sp *obs.Span) {
 		res.Completions[global] = done
 		res.Sojourns[global] = done - requests[global].Arrival
 		mSojourn.ObserveDuration(res.Sojourns[global])
+		if requests[global].Handoff {
+			ws.Handoffs++
+			res.Handoffs++
+			mHandoffs.Inc()
+		}
 		if d := requests[global].Deadline; d > 0 && res.Sojourns[global] > d {
 			res.DeadlineMisses++
 			mDeadlineMisses.Inc()
@@ -385,6 +417,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 		}
 	}
 
+runLoop:
 	for next < n || len(queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("stream: run cancelled: %w", err)
@@ -432,8 +465,26 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			if err == nil {
 				break
 			}
-			if !errors.Is(err, core.ErrInfeasiblePartition) || attempt >= s.cfg.MaxRetries {
+			if !errors.Is(err, core.ErrInfeasiblePartition) {
 				return nil, fmt.Errorf("stream: planning window at %v: %w", now, err)
+			}
+			if attempt >= s.cfg.MaxRetries {
+				if !s.cfg.HaltInfeasible {
+					return nil, fmt.Errorf("stream: planning window at %v: %w", now, err)
+				}
+				// Graceful halt: hand the unserved backlog — the admitted
+				// queue plus every request still to arrive — back to the
+				// caller for fleet failover. The aborted window never
+				// executed, so it is not appended to WindowStats; its plan
+				// retries are already on the run totals.
+				res.Unfinished = append(append([]int(nil), queue...), intRange(next, n)...)
+				res.Halted = true
+				res.HaltedAt = now
+				wspan.SetAttrs(obs.Bool("halted", true), obs.Dur("vt_end", now))
+				wspan.End()
+				logAt(slog.LevelWarn, "run halted: plan-retry budget exhausted", wspan,
+					"at", now, "unfinished", len(res.Unfinished))
+				break runLoop
 			}
 			res.PlanRetries++
 			ws.PlanRetries++
@@ -497,7 +548,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 			for pos, g := range groups {
 				done := now + exec.Completions[pos]
 				for _, local := range g.Requests {
-					record(window[local], done, wspan)
+					record(window[local], done, &ws, wspan)
 				}
 			}
 			queue = queue[take:]
@@ -515,7 +566,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 					continue
 				}
 				for _, local := range g.Requests {
-					record(window[local], done, wspan)
+					record(window[local], done, &ws, wspan)
 					survived[local] = true
 				}
 			}
@@ -635,7 +686,7 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 	rep := &obs.RunReport{
 		SoC:           s.planner.SoC().Name,
 		Requests:      requests,
-		Completed:     len(res.Completions),
+		Completed:     requests - len(res.Unfinished),
 		MakespanMS:    durMS(res.Makespan),
 		MeanSojournMS: durMS(res.MeanSojourn()),
 		P50SojournMS:  durMS(res.SojournQuantile(50)),
@@ -661,6 +712,9 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 			PlanRetries:    res.PlanRetries,
 			DeadlineMisses: res.DeadlineMisses,
 			EventsApplied:  res.EventsApplied,
+			Handoffs:       res.Handoffs,
+			Halted:         res.Halted,
+			Unfinished:     len(res.Unfinished),
 		},
 	}
 	if total := res.CacheHits + res.CacheMisses; total > 0 {
@@ -676,21 +730,22 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 		rep.Planner.PlanWallMS += durMS(ws.PlanWall)
 		rep.Planner.DPCells += ws.DPCells
 		rep.Windows = append(rep.Windows, obs.WindowReport{
-			Index:       i,
-			StartMS:     durMS(ws.Start),
-			EndMS:       durMS(ws.End),
-			PlanWallMS:  durMS(ws.PlanWall),
-			ExecMS:      durMS(ws.ExecSpan),
-			Requests:    ws.Requests,
-			Completed:   ws.Completed,
-			Requeued:    ws.Requeued,
-			PlanRetries: ws.PlanRetries,
+			Index:           i,
+			StartMS:         durMS(ws.Start),
+			EndMS:           durMS(ws.End),
+			PlanWallMS:      durMS(ws.PlanWall),
+			ExecMS:          durMS(ws.ExecSpan),
+			Requests:        ws.Requests,
+			Completed:       ws.Completed,
+			Requeued:        ws.Requeued,
+			PlanRetries:     ws.PlanRetries,
 			CacheHits:       ws.CacheHits,
 			CacheMisses:     ws.CacheMisses,
 			PlanCacheHits:   ws.PlanCacheHits,
 			PlanCacheMisses: ws.PlanCacheMisses,
 			DPCells:         ws.DPCells,
 			Interrupted:     ws.Interrupted,
+			Handoffs:        ws.Handoffs,
 		})
 	}
 	return rep
@@ -728,6 +783,18 @@ func identityGroups(models []*model.Model, order []int) []core.BatchGroup {
 	return out
 }
 
+// intRange returns [lo, hi) as a slice (nil when empty).
+func intRange(lo, hi int) []int {
+	if lo >= hi {
+		return nil
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
 // PoissonArrivals generates a deterministic arrival sequence with
 // exponential inter-arrival gaps of the given mean, using a simple LCG so
 // the stream is reproducible without wall-clock or math/rand state.
@@ -744,4 +811,17 @@ func PoissonArrivals(models []*model.Model, meanGap time.Duration, seed uint64) 
 		out[i] = Request{Model: m, Arrival: at}
 	}
 	return out
+}
+
+// DeviceSeed derives a decorrelated per-device seed from a fleet-wide base
+// seed via splitmix64. PoissonArrivals' LCG maps nearby seeds to nearly
+// identical gap sequences (one multiply-add of the seed feeds the stream
+// state), so seed+device would correlate every device's arrivals; splitmix64's
+// avalanche mixing makes each device's substream independent while keeping the
+// whole fleet reproducible from one base seed.
+func DeviceSeed(seed uint64, device int) uint64 {
+	z := seed + uint64(device+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }

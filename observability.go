@@ -55,25 +55,29 @@ func StreamChromeTraceFromSpans(rec *SpanRecorder) ([]byte, error) {
 //	/windows        live WindowStats of the in-flight run; ?sse=1 streams
 //	                them as Server-Sent Events
 //	/spans          the span ring as OTLP/JSON (WithSpans)
+//	/fleet          live fleet status: per-device assignment, completion
+//	                and handoff counts (WithFleet)
 //
 // Mount it on any mux or server; ServeObs runs a standalone one.
 func (sys *System) ObsHandler() http.Handler {
-	return server.Handler(server.Config{
+	return server.Handler(sys.serverConfig())
+}
+
+// serverConfig assembles the obs server wiring shared by ObsHandler and
+// ServeObs. The feed is device 0's window feed.
+func (sys *System) serverConfig() server.Config {
+	return server.Config{
 		Metrics: sys.cfg.metrics,
 		Spans:   sys.cfg.spans,
-		Feed:    sys.feed,
-		Service: sys.soc.Name,
-	})
+		Feed:    sys.dev.Feed(),
+		Fleet:   sys.fl,
+		Service: sys.dev.SoC().Name,
+	}
 }
 
 // ServeObs serves ObsHandler on addr until ctx is cancelled, then shuts
 // down gracefully. addr may be ":0"; onListen (optional) receives the
 // bound address before serving starts.
 func (sys *System) ServeObs(ctx context.Context, addr string, onListen func(net.Addr)) error {
-	return server.Serve(ctx, addr, server.Config{
-		Metrics: sys.cfg.metrics,
-		Spans:   sys.cfg.spans,
-		Feed:    sys.feed,
-		Service: sys.soc.Name,
-	}, onListen)
+	return server.Serve(ctx, addr, sys.serverConfig(), onListen)
 }

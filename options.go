@@ -17,6 +17,10 @@ type config struct {
 	metrics *obs.Registry
 	logger  *slog.Logger
 	spans   *obs.SpanRecorder
+	// fleetSize > 0 assembles a sharded serving fleet (WithFleet);
+	// fleetPolicy names its routing policy ("" = consistent hashing).
+	fleetSize   int
+	fleetPolicy string
 }
 
 func defaultConfig() config {
@@ -105,6 +109,25 @@ func WithLogger(l *slog.Logger) Option {
 // tracing (the default) at no per-call cost beyond a context lookup.
 func WithSpans(rec *SpanRecorder) Option {
 	return optionFunc(func(c *config) { c.spans = rec })
+}
+
+// WithFleet assembles an n-device sharded serving fleet around the system:
+// device 0 ("dev0") is the system's SoC, devices 1..n−1 cycle the mixed
+// mobile presets (Kirin 990, Snapdragon 778G, Snapdragon 870). Every device
+// gets its own planner, plan cache, window feed and a `device`-labeled view
+// of the system's metrics registry. Run requests across the fleet with
+// RunFleet; inspect it live on the observability server's /fleet endpoint.
+// n ≤ 0 disables the fleet (the default).
+func WithFleet(n int) Option {
+	return optionFunc(func(c *config) { c.fleetSize = n })
+}
+
+// WithFleetPolicy selects the fleet's routing policy by name: "hash"
+// (consistent hashing, the default), "least-sojourn" (balance accumulated
+// latency estimates) or "affinity" (pin models to devices so recurring
+// windows hit the plan cache).
+func WithFleetPolicy(name string) Option {
+	return optionFunc(func(c *config) { c.fleetPolicy = name })
 }
 
 // WithPlannerOptions replaces the full planner configuration — the escape
