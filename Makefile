@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs serve-test fleet bench bench-smoke bench-diff fuzz fuzz-degrade fuzz-fleet
+.PHONY: check build vet test race diff degrade obs serve-test fleet api api-update bench bench-smoke bench-diff fuzz fuzz-degrade fuzz-fleet
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade obs serve-test fleet bench-smoke
+check: vet build race diff degrade obs serve-test fleet api bench-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,21 @@ serve-test:
 fleet:
 	$(GO) test -race -count=1 -run 'TestFleet|TestDifferentialFleet|TestPolicy|TestAffinity|TestLeastSojourn|TestDeviceSeed|TestDeviceRun|TestStreamHalt|TestStreamHandoff|TestPlanCacheHasCachedPlan|TestObsWithLabels|TestObsPrometheusLabeled|TestRunFleet' \
 		./internal/fleet/ ./internal/stream/ ./internal/obs/ ./internal/core/ ./cmd/h2pipe/ .
+
+## api: the public-API gate — regenerate the facade's exported surface and
+## diff it against the committed api.txt baseline. Fails on any unreviewed
+## public-API change; when the change is intentional, run `make api-update`
+## and commit the new baseline alongside the code.
+api:
+	@$(GO) run ./cmd/apidump . > api.txt.tmp
+	@diff -u api.txt api.txt.tmp || \
+		(rm -f api.txt.tmp; echo "public API changed: review the diff above, then run 'make api-update' to accept"; exit 1)
+	@rm -f api.txt.tmp
+
+## api-update: accept an intentional public-API change by regenerating the
+## committed baseline.
+api-update:
+	$(GO) run ./cmd/apidump . > api.txt
 
 ## bench: five interleaved repetitions with allocation stats, archived as
 ## machine-readable JSON (BENCH_<date>.json) for regression tracking.

@@ -140,6 +140,50 @@ func benchPlannerParallelism(b *testing.B, parallelism int) {
 func BenchmarkPlannerParallelism1(b *testing.B) { benchPlannerParallelism(b, 1) }
 func BenchmarkPlannerParallelismN(b *testing.B) { benchPlannerParallelism(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkPlanFrontier enumerates the full Pareto frontier over the same
+// four-model window as BenchmarkPlannerEndToEnd — the pairing isolates the
+// cost of dominance filtering and frontier assembly over single-plan search.
+func BenchmarkPlanFrontier(b *testing.B) {
+	s, profs := benchProfiles(b, model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50)
+	pl, err := core.NewPlanner(s, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanFrontierProfiles(profs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanFrontierWarmCache measures the frontier-mode steady state with
+// the whole-frontier memo warm — a cache hit deep-copies every point.
+func BenchmarkPlanFrontierWarmCache(b *testing.B) {
+	s := soc.Kirin990()
+	models := []*model.Model{
+		model.MustByName(model.YOLOv4), model.MustByName(model.SqueezeNet),
+		model.MustByName(model.BERT), model.MustByName(model.ResNet50),
+	}
+	opts := core.DefaultOptions()
+	opts.PlanCache = 8
+	pl, err := core.NewPlanner(s, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pl.PlanFrontierModels(models); err != nil { // warm the memo
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanFrontierModels(models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPlanModelsWarmCache measures a full PlanModels with the cost
 // cache warm — the steady state of internal/stream window planning; compare
 // against BenchmarkPlanModelsColdCache for the cache's saving.

@@ -1,0 +1,110 @@
+// Command apidump prints the exported API surface of the hetero2pipe facade
+// package as normalised Go source: exported declarations only, doc comments
+// and function bodies stripped, files in lexical order. The output is stable
+// across formatting-only edits, so `make api` can diff it against the
+// committed api.txt baseline and fail the build on any unreviewed public-API
+// change.
+//
+// Usage: apidump [package-dir]   (default ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := run(dir, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "apidump: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, out *os.File) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	for _, name := range names {
+		pkg := pkgs[name]
+		fmt.Fprintf(out, "package %s\n", name)
+		files := make([]string, 0, len(pkg.Files))
+		for path := range pkg.Files {
+			files = append(files, path)
+		}
+		sort.Strings(files)
+		for _, path := range files {
+			file := pkg.Files[path]
+			if !ast.FileExports(file) {
+				continue
+			}
+			fmt.Fprintf(out, "\n// %s\n", filepath.Base(path))
+			for _, decl := range file.Decls {
+				stripDecl(decl)
+				fmt.Fprintln(out)
+				if err := cfg.Fprint(out, fset, decl); err != nil {
+					return err
+				}
+				fmt.Fprintln(out)
+			}
+		}
+	}
+	return nil
+}
+
+// stripDecl removes everything the API contract does not cover: function
+// bodies, doc comments and import declarations' grouping parens are left as
+// parsed (imports never survive FileExports, so only func/gen decls arrive).
+func stripDecl(decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		d.Body = nil
+		d.Doc = nil
+	case *ast.GenDecl:
+		d.Doc = nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				s.Doc, s.Comment = nil, nil
+				stripStruct(s.Type)
+			case *ast.ValueSpec:
+				s.Doc, s.Comment = nil, nil
+			}
+		}
+	}
+}
+
+// stripStruct drops field docs and trailing comments inside struct and
+// interface types so comment edits never churn the baseline.
+func stripStruct(expr ast.Expr) {
+	switch t := expr.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			f.Doc, f.Comment = nil, nil
+		}
+	case *ast.InterfaceType:
+		for _, f := range t.Methods.List {
+			f.Doc, f.Comment = nil, nil
+		}
+	}
+}

@@ -74,6 +74,8 @@ func run(ctx context.Context, args []string) error {
 		fleetN     = fs.Int("fleet", 0, "shard the -stream run across N devices (device 0 is -soc, the rest cycle the mobile presets; 0 disables)")
 		policyName = fs.String("policy", "hash", "fleet routing policy: hash, least-sojourn or affinity")
 		planCache  = fs.Int("plan-cache", 0, "memoize up to N whole plans keyed by SoC epoch + window signature (0 disables); steady-state windows skip the planner entirely")
+		objFlag    = fs.String("objective", "makespan", "planning objective: makespan (single min-latency plan) or frontier (Pareto frontier over makespan/throughput/energy/peak memory)")
+		sloFlag    = fs.String("slo", "", "SLO class picking the frontier point under -objective frontier: latency-critical, balanced, battery-saver or custom:w,w,w,w (weights for makespan,throughput,energy,memory; default latency-critical)")
 		report     = fs.Bool("report", false, "print a structured JSON run report on stdout")
 		metricsOut = fs.String("metrics", "", "write the metrics registry in Prometheus text format to a file")
 		serveAddr  = fs.String("serve", "", "serve live observability HTTP (/metrics, /vars, /debug/pprof, /healthz, /readyz, /windows, /spans) on this address; keeps serving after the run until Ctrl-C")
@@ -121,6 +123,14 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	objective, err := core.ParseObjective(*objFlag)
+	if err != nil {
+		return err
+	}
+	slo, err := core.ParseSLOClass(*sloFlag)
+	if err != nil {
+		return err
+	}
 
 	opts := core.DefaultOptions()
 	opts.Mitigation = !*noMit
@@ -154,6 +164,8 @@ func run(ctx context.Context, args []string) error {
 		scfg := stream.DefaultConfig()
 		scfg.MaxWindow = *window
 		scfg.Events = events
+		scfg.Objective = objective
+		scfg.SLO = slo
 		fl, err = buildFleet(s, *fleetN, *policyName, opts, scfg, reg, logger, rec)
 		if err != nil {
 			return err
@@ -204,7 +216,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if *streamMode {
-		if err := runStream(ctx, planner, models, events, *gap, *window, streamOutputs{
+		if err := runStream(ctx, planner, models, events, *gap, *window, objective, slo, streamOutputs{
 			report:     *report,
 			metricsOut: *metricsOut,
 			traceOut:   *traceOut,
@@ -230,9 +242,19 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("applied %v\n", ev)
 	}
 	planStart := time.Now()
-	plan, err := planner.PlanModelsContext(ctx, models)
-	if err != nil {
-		return err
+	var plan *core.Plan
+	if objective == core.ObjectiveFrontier {
+		f, err := planner.PlanFrontierModelsContext(ctx, models)
+		if err != nil {
+			return err
+		}
+		pt := f.Select(slo)
+		plan = pt.Plan
+		printFrontier(f, pt, slo)
+	} else {
+		if plan, err = planner.PlanModelsContext(ctx, models); err != nil {
+			return err
+		}
 	}
 	planWall := time.Since(planStart)
 	execOpts := pipeline.DefaultOptions()
@@ -381,6 +403,32 @@ func writeSpans(path string, rec *obs.SpanRecorder, service string) error {
 	return nil
 }
 
+// sloName renders the class governing frontier selection; the unset class
+// falls back to latency-critical, matching Frontier.Select.
+func sloName(slo core.SLOClass) string {
+	if slo.Kind == core.SLOUnset {
+		return core.SLOLatencyCritical.String()
+	}
+	return slo.String()
+}
+
+// printFrontier lists the Pareto frontier from -objective frontier, one line
+// per non-dominated point, marking the point the -slo class selected.
+func printFrontier(f *core.Frontier, selected *core.FrontierPoint, slo core.SLOClass) {
+	fmt.Printf("Pareto frontier: %d non-dominated points\n", f.Size())
+	for i := range f.Points {
+		pt := &f.Points[i]
+		mark := ""
+		if selected != nil && pt.Candidate == selected.Candidate {
+			mark = fmt.Sprintf("  ← selected (%s)", sloName(slo))
+		}
+		o := pt.Objective
+		fmt.Printf("  %2d. makespan %8.2fms  throughput %6.2f req/s  energy %7.2fJ  peak %7.1fMB%s\n",
+			i+1, o.Makespan.Seconds()*1e3, o.Throughput, o.EnergyJoules,
+			float64(o.PeakMemoryBytes)/(1<<20), mark)
+	}
+}
+
 // streamOutputs carries the observability outputs requested on the command
 // line into runStream.
 type streamOutputs struct {
@@ -397,7 +445,7 @@ type streamOutputs struct {
 
 // runStream replays the models as a Poisson arrival stream with per-window
 // planning and prints the online/degradation statistics.
-func runStream(ctx context.Context, planner *core.Planner, models []*model.Model, events []soc.Event, gap time.Duration, window int, out streamOutputs) error {
+func runStream(ctx context.Context, planner *core.Planner, models []*model.Model, events []soc.Event, gap time.Duration, window int, objective core.ObjectiveMode, slo core.SLOClass, out streamOutputs) error {
 	cfg := stream.DefaultConfig()
 	cfg.MaxWindow = window
 	cfg.Events = events
@@ -405,6 +453,8 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 	cfg.CollectWindowTraces = out.traceOut != ""
 	cfg.Logger = out.logger
 	cfg.Feed = out.feed
+	cfg.Objective = objective
+	cfg.SLO = slo
 	sched, err := stream.NewScheduler(planner, cfg)
 	if err != nil {
 		return err
@@ -444,6 +494,9 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 		fmt.Printf("wrote Chrome stream trace to %s\n", out.traceOut)
 	}
 	fmt.Printf("online run: %d requests, mean gap %v\n", len(requests), gap)
+	if objective == core.ObjectiveFrontier {
+		fmt.Printf("objective:          frontier (default SLO %s)\n", sloName(slo))
+	}
 	fmt.Printf("makespan:           %8.2f ms\n", res.Makespan.Seconds()*1e3)
 	fmt.Printf("mean sojourn:       %8.2f ms  (p95 %.2f ms)\n",
 		res.MeanSojourn().Seconds()*1e3, res.P95Sojourn().Seconds()*1e3)
@@ -460,8 +513,11 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 		fmt.Println("\nwindows:")
 		for i, ws := range res.WindowStats {
 			mark := ""
+			if ws.FrontierSize > 0 {
+				mark = fmt.Sprintf("  [%s, %d-point frontier]", ws.SLO, ws.FrontierSize)
+			}
 			if ws.Interrupted {
-				mark = "  ← interrupted"
+				mark += "  ← interrupted"
 			}
 			fmt.Printf("  %2d. [%8.2fms %8.2fms] %d requests, %d done, %d requeued, %d events, %d retries%s\n",
 				i+1, ws.Start.Seconds()*1e3, ws.End.Seconds()*1e3,

@@ -24,6 +24,10 @@ var (
 	// ErrCancelled: the run was aborted by its context (cancellation or
 	// deadline) before completing.
 	ErrCancelled = errors.New("hetero2pipe: run cancelled")
+	// ErrUnknownSLOClass: ParseSLOClass was given a class name outside the
+	// grammar (latency-critical, balanced, battery-saver, custom:w,w,w,w).
+	// Aliases the core sentinel so both layers match with errors.Is.
+	ErrUnknownSLOClass = core.ErrUnknownSLOClass
 )
 
 // wrapRunErr lifts internal failure modes onto the facade sentinels while

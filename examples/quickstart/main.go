@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	sys, err := hetero2pipe.NewSystem("Kirin990", hetero2pipe.DefaultOptions())
+	sys, err := hetero2pipe.NewSystem("Kirin990")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func TestFleetFacadeRun(t *testing.T) {
 	reg := hetero2pipe.NewMetricsRegistry("h2pipe")
 	sys, err := hetero2pipe.NewSystem("Kirin990",
 		hetero2pipe.WithFleet(3),
-		hetero2pipe.WithFleetPolicy("least-sojourn"),
+		hetero2pipe.WithFleetPolicy(hetero2pipe.PolicyLeastSojourn),
 		hetero2pipe.WithMetrics(reg),
 		hetero2pipe.WithPlanCache(8),
 		hetero2pipe.WithWindow(3),

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"hetero2pipe/internal/core"
@@ -181,15 +182,9 @@ type Result struct {
 	Execution *pipeline.Result
 }
 
-// Run plans and executes the named models on the system.
-func (sys *System) Run(modelNames ...string) (*Result, error) {
-	return sys.RunContext(context.Background(), modelNames...)
-}
-
-// RunContext is Run under a cancellable context: cancellation aborts both
-// the planner (inside its partition DP and worker pools) and the executor,
-// returning an error wrapping ErrCancelled.
-func (sys *System) RunContext(ctx context.Context, modelNames ...string) (*Result, error) {
+// resolveModels maps built-in model names to their descriptions, wrapping
+// unknown names in ErrUnknownModel.
+func resolveModels(modelNames []string) ([]*model.Model, error) {
 	models := make([]*model.Model, len(modelNames))
 	for i, name := range modelNames {
 		m, err := model.ByName(name)
@@ -198,26 +193,86 @@ func (sys *System) RunContext(ctx context.Context, modelNames ...string) (*Resul
 		}
 		models[i] = m
 	}
+	return models, nil
+}
+
+// spanContext arms span tracing (WithSpans) on a run's context — the one
+// piece of context plumbing every canonical Run*Context method shares.
+func (sys *System) spanContext(ctx context.Context) context.Context {
+	return obs.ContextWithRecorder(ctx, sys.cfg.spans)
+}
+
+// execOptions assembles the executor options a run hands to the pipeline.
+// withMetrics attaches the system registry — true only on the offline
+// Run/RunModels path; the stream and fleet paths leave executor metrics to
+// the device layer, which fans the registry in through per-device labeled
+// views. logger, when nil, inherits the system logger (WithLogger).
+func (sys *System) execOptions(withMetrics bool, logger *slog.Logger) pipeline.Options {
+	opts := pipeline.DefaultOptions()
+	if withMetrics {
+		opts.Metrics = sys.cfg.metrics
+	}
+	opts.Logger = logger
+	if opts.Logger == nil {
+		opts.Logger = sys.cfg.logger
+	}
+	return opts
+}
+
+// runSLO resolves the system-level SLO class governing offline frontier
+// runs: WithSLOClass, defaulting to latency-critical.
+func (sys *System) runSLO() SLOClass {
+	if sys.cfg.stream.SLO.Kind != core.SLOUnset {
+		return sys.cfg.stream.SLO
+	}
+	return SLOLatencyCritical
+}
+
+// Run is RunContext under a background context.
+func (sys *System) Run(modelNames ...string) (*Result, error) {
+	return sys.RunContext(context.Background(), modelNames...)
+}
+
+// RunContext plans and executes the named models on the system under a
+// cancellable context: cancellation aborts both the planner (inside its
+// partition DP and worker pools) and the executor, returning an error
+// wrapping ErrCancelled.
+func (sys *System) RunContext(ctx context.Context, modelNames ...string) (*Result, error) {
+	models, err := resolveModels(modelNames)
+	if err != nil {
+		return nil, err
+	}
 	return sys.RunModelsContext(ctx, models)
 }
 
-// RunModels plans and executes explicit model descriptions (use
-// encoding/json into model.Model for custom networks).
+// RunModels is RunModelsContext under a background context.
 func (sys *System) RunModels(models []*model.Model) (*Result, error) {
 	return sys.RunModelsContext(context.Background(), models)
 }
 
-// RunModelsContext is RunModels under a cancellable context.
+// RunModelsContext plans and executes explicit model descriptions (use
+// encoding/json into model.Model for custom networks) under a cancellable
+// context. Under WithObjective(ObjectiveFrontier) the planner enumerates
+// the Pareto frontier and the run executes the point selected by the
+// system's SLO class (WithSLOClass, default latency-critical — whose point
+// is byte-identical to makespan planning).
 func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) (*Result, error) {
-	ctx = obs.ContextWithRecorder(ctx, sys.cfg.spans)
-	plan, err := sys.dev.Planner().PlanModelsContext(ctx, models)
-	if err != nil {
-		return nil, wrapRunErr(err)
+	ctx = sys.spanContext(ctx)
+	var plan *core.Plan
+	if sys.cfg.stream.Objective == ObjectiveFrontier {
+		f, err := sys.dev.Planner().PlanFrontierModelsContext(ctx, models)
+		if err != nil {
+			return nil, wrapRunErr(err)
+		}
+		plan = f.Select(sys.runSLO()).Plan
+	} else {
+		p, err := sys.dev.Planner().PlanModelsContext(ctx, models)
+		if err != nil {
+			return nil, wrapRunErr(err)
+		}
+		plan = p
 	}
-	execOpts := pipeline.DefaultOptions()
-	execOpts.Metrics = sys.cfg.metrics
-	execOpts.Logger = sys.cfg.logger
-	exec, err := pipeline.ExecuteContext(ctx, plan.Schedule, execOpts)
+	exec, err := pipeline.ExecuteContext(ctx, plan.Schedule, sys.execOptions(true, nil))
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -229,6 +284,43 @@ func (sys *System) RunModelsContext(ctx context.Context, models []*model.Model) 
 		Plan:            plan,
 		Execution:       exec,
 	}, nil
+}
+
+// PlanFrontier is PlanFrontierContext under a background context.
+func (sys *System) PlanFrontier(modelNames ...string) (*Frontier, error) {
+	return sys.PlanFrontierContext(context.Background(), modelNames...)
+}
+
+// PlanFrontierContext enumerates the Pareto frontier over (makespan,
+// throughput, energy, peak memory) for the named models under a
+// cancellable context, without executing anything. Pick a point with
+// Frontier.Select and an SLO class; the first point (min makespan) is
+// byte-identical to the plan RunContext executes under the default
+// objective. Frontiers are memoized in the plan cache (WithPlanCache)
+// alongside single plans.
+func (sys *System) PlanFrontierContext(ctx context.Context, modelNames ...string) (*Frontier, error) {
+	models, err := resolveModels(modelNames)
+	if err != nil {
+		return nil, err
+	}
+	return sys.PlanFrontierModelsContext(ctx, models)
+}
+
+// PlanFrontierModels is PlanFrontierModelsContext under a background
+// context.
+func (sys *System) PlanFrontierModels(models []*model.Model) (*Frontier, error) {
+	return sys.PlanFrontierModelsContext(context.Background(), models)
+}
+
+// PlanFrontierModelsContext is PlanFrontierContext for explicit model
+// descriptions.
+func (sys *System) PlanFrontierModelsContext(ctx context.Context, models []*model.Model) (*Frontier, error) {
+	ctx = sys.spanContext(ctx)
+	f, err := sys.dev.Planner().PlanFrontierModelsContext(ctx, models)
+	if err != nil {
+		return nil, wrapRunErr(err)
+	}
+	return f, nil
 }
 
 // SerialBaseline returns the serial big-CPU latency of the named models —
@@ -290,8 +382,66 @@ func ParseEvents(csv string) ([]Event, error) {
 // StreamConfig re-exports the online scheduler configuration.
 type StreamConfig = stream.Config
 
-// StreamRequest re-exports the online request type.
+// StreamRequest re-exports the online request type (including its SLO
+// class, honoured under frontier planning).
 type StreamRequest = stream.Request
+
+// ObjectiveMode re-exports the planning-mode selector (WithObjective).
+type ObjectiveMode = core.ObjectiveMode
+
+// Planning modes, re-exported for facade callers.
+const (
+	// ObjectiveMakespan plans the min-makespan schedule (the default).
+	ObjectiveMakespan = core.ObjectiveMakespan
+	// ObjectiveFrontier enumerates the Pareto frontier over (makespan,
+	// throughput, energy, peak memory) and selects a point per SLO class.
+	ObjectiveFrontier = core.ObjectiveFrontier
+)
+
+// ParseObjective maps a CLI/config string ("makespan", "frontier",
+// "pareto", "") to an ObjectiveMode.
+func ParseObjective(s string) (ObjectiveMode, error) { return core.ParseObjective(s) }
+
+// Objective re-exports one plan's executed value on every planning axis.
+type Objective = core.Objective
+
+// Frontier re-exports the planner's non-dominated set (PlanFrontier),
+// sorted by ascending makespan; FrontierPoint is one plan on it.
+type Frontier = core.Frontier
+
+// FrontierPoint re-exports one non-dominated plan with its objective.
+type FrontierPoint = core.FrontierPoint
+
+// SLOClass re-exports the service-level-objective class selecting a
+// frontier point (WithSLOClass, StreamRequest.SLO); SLOWeights the weight
+// vector of a custom class.
+type SLOClass = core.SLOClass
+
+// SLOWeights re-exports the custom-class weight vector (CustomSLO).
+type SLOWeights = core.Weights
+
+// The built-in SLO classes, re-exported for facade callers.
+var (
+	// SLOLatencyCritical selects the min-makespan frontier point —
+	// byte-identical to the default planner's output.
+	SLOLatencyCritical = core.SLOLatencyCritical
+	// SLOBalanced trades all four axes with equal weight.
+	SLOBalanced = core.SLOBalanced
+	// SLOBatterySaver selects the min-energy frontier point.
+	SLOBatterySaver = core.SLOBatterySaver
+)
+
+// CustomSLO builds a weighted SLO class from relative axis weights.
+func CustomSLO(w SLOWeights) SLOClass { return core.CustomSLO(w) }
+
+// ParseSLOClass parses an SLO class name ("latency-critical", "balanced",
+// "battery-saver", "custom:w,w,w,w"; "" = scheduler default). Unknown
+// names return an error wrapping ErrUnknownSLOClass.
+func ParseSLOClass(s string) (SLOClass, error) { return core.ParseSLOClass(s) }
+
+// StrictestSLO resolves the strictest (most latency-sensitive) class of a
+// set — the rule a shared planning window applies to its members.
+func StrictestSLO(classes ...SLOClass) SLOClass { return core.StrictestSLO(classes...) }
 
 // StreamResult re-exports the online run summary, including degradation
 // stats (replans, retried requests, deadline misses, per-window detail).
@@ -335,30 +485,26 @@ func StreamChromeTrace(res *StreamResult) ([]byte, error) {
 	return trace.StreamChrome(res.WindowTraces)
 }
 
-// RunStream executes an arrival-ordered request stream with per-window
-// planning (the online deployment mode).
+// RunStream is RunStreamContext under a background context.
 func (sys *System) RunStream(requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
 	return sys.RunStreamContext(context.Background(), requests, cfg)
 }
 
-// RunStreamContext is RunStream under a cancellable context: cancellation
-// aborts within one planning window on the simulated clock and returns an
-// error wrapping ErrCancelled.
+// RunStreamContext executes an arrival-ordered request stream with
+// per-window planning (the online deployment mode) under a cancellable
+// context: cancellation aborts within one planning window on the simulated
+// clock and returns an error wrapping ErrCancelled.
 //
 // Degradation events configured on the System (WithDegradationEvents)
 // apply when cfg carries no events of its own; cfg.Events, when set,
-// takes precedence for this run.
+// takes precedence for this run. The same inheritance covers the planning
+// objective and default SLO class (WithObjective, WithSLOClass) when cfg
+// leaves them zero-valued.
 func (sys *System) RunStreamContext(ctx context.Context, requests []StreamRequest, cfg StreamConfig) (*StreamResult, error) {
 	// The zero-value-config inheritance (WithWindow, WithMaxBatch,
-	// WithDegradationEvents, metrics/logger/feed fan-in) lives on the
-	// device now — stream scheduling is instance-scoped.
-	ctx = obs.ContextWithRecorder(ctx, sys.cfg.spans)
-	execOpts := pipeline.DefaultOptions()
-	execOpts.Logger = cfg.Logger
-	if execOpts.Logger == nil {
-		execOpts.Logger = sys.cfg.logger
-	}
-	res, err := sys.dev.Run(ctx, requests, cfg, execOpts)
+	// WithDegradationEvents, objective/SLO, metrics/logger/feed fan-in)
+	// lives on the device — stream scheduling is instance-scoped.
+	res, err := sys.dev.Run(sys.spanContext(ctx), requests, cfg, sys.execOptions(false, cfg.Logger))
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}
@@ -386,21 +532,21 @@ func FleetPoissonArrivals(models []*model.Model, meanGap time.Duration, seed uin
 	return fleet.PoissonArrivals(models, meanGap, seed, devices)
 }
 
-// RunFleet shards an arrival-ordered request stream across the fleet
-// (WithFleet) and runs every device's shard concurrently, failing halted
-// devices' backlogs over to healthy peers.
+// RunFleet is RunFleetContext under a background context.
 func (sys *System) RunFleet(requests []StreamRequest) (*FleetResult, error) {
 	return sys.RunFleetContext(context.Background(), requests)
 }
 
-// RunFleetContext is RunFleet under a cancellable context.
+// RunFleetContext shards an arrival-ordered request stream across the
+// fleet (WithFleet) and runs every device's shard concurrently under a
+// cancellable context, failing halted devices' backlogs over to healthy
+// peers. Per-request SLO classes (StreamRequest.SLO) travel with their
+// requests through routing and failover unchanged.
 func (sys *System) RunFleetContext(ctx context.Context, requests []StreamRequest) (*FleetResult, error) {
 	if sys.fl == nil {
 		return nil, errors.New("hetero2pipe: system built without WithFleet")
 	}
-	execOpts := pipeline.DefaultOptions()
-	execOpts.Logger = sys.cfg.logger
-	res, err := sys.fl.RunContext(ctx, requests, execOpts)
+	res, err := sys.fl.RunContext(ctx, requests, sys.execOptions(false, nil))
 	if err != nil {
 		return nil, wrapRunErr(err)
 	}

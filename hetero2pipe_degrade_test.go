@@ -129,7 +129,7 @@ func TestFacadeOptionsCompose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := hetero2pipe.NewSystem("Kirin990", hetero2pipe.DefaultOptions())
+	par, err := hetero2pipe.NewSystem("Kirin990")
 	if err != nil {
 		t.Fatal(err)
 	}

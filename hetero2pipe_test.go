@@ -14,7 +14,7 @@ import (
 )
 
 func TestFacadeRun(t *testing.T) {
-	sys, err := hetero2pipe.NewSystem("Kirin990", hetero2pipe.DefaultOptions())
+	sys, err := hetero2pipe.NewSystem("Kirin990")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,13 +47,13 @@ func TestFacadeRun(t *testing.T) {
 }
 
 func TestFacadeErrors(t *testing.T) {
-	if _, err := hetero2pipe.NewSystem("NoSuchChip", hetero2pipe.DefaultOptions()); err == nil {
+	if _, err := hetero2pipe.NewSystem("NoSuchChip"); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if _, err := hetero2pipe.NewSystemFor(nil, hetero2pipe.DefaultOptions()); err == nil {
+	if _, err := hetero2pipe.NewSystemFor(nil); err == nil {
 		t.Error("nil SoC accepted")
 	}
-	sys, err := hetero2pipe.NewSystem("Kirin990", hetero2pipe.DefaultOptions())
+	sys, err := hetero2pipe.NewSystem("Kirin990")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestFacadeModels(t *testing.T) {
 	if len(names) != 13 { // 10 evaluation + 3 application extras
 		t.Fatalf("Models() = %d names: %v", len(names), names)
 	}
-	sys, err := hetero2pipe.NewSystem("Snapdragon870", hetero2pipe.DefaultOptions())
+	sys, err := hetero2pipe.NewSystem("Snapdragon870")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestFacadeModels(t *testing.T) {
 func TestFacadeCustomSoC(t *testing.T) {
 	custom := soc.Kirin990()
 	custom.Name = "CustomChip"
-	sys, err := hetero2pipe.NewSystemFor(custom, hetero2pipe.DefaultOptions())
+	sys, err := hetero2pipe.NewSystemFor(custom)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFacadeCustomSoC(t *testing.T) {
 }
 
 func TestFacadeStream(t *testing.T) {
-	sys, err := hetero2pipe.NewSystem("Kirin990", hetero2pipe.DefaultOptions())
+	sys, err := hetero2pipe.NewSystem("Kirin990")
 	if err != nil {
 		t.Fatal(err)
 	}

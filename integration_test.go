@@ -34,7 +34,7 @@ func TestIntegrationSweep(t *testing.T) {
 		}
 		platform := platform
 		t.Run(platform.Name, func(t *testing.T) {
-			sys, err := hetero2pipe.NewSystemFor(platform, hetero2pipe.DefaultOptions())
+			sys, err := hetero2pipe.NewSystemFor(platform)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -118,9 +118,33 @@ func (pl *Planner) PlanBatchedContext(ctx context.Context, requests []*model.Mod
 	if err != nil {
 		return nil, nil, err
 	}
+	return plan, OrderGroups(groups, plan.Order), nil
+}
+
+// PlanFrontierBatchedContext is PlanBatchedContext in frontier mode: it
+// coalesces lightweight requests once and enumerates the Pareto frontier of
+// the resulting group sequence. Because every frontier point can carry its
+// own request ordering, the groups are returned in coalesce order — apply
+// the selected point's ordering with OrderGroups(groups, point.Plan.Order).
+func (pl *Planner) PlanFrontierBatchedContext(ctx context.Context, requests []*model.Model, maxBatch int) (*Frontier, []BatchGroup, error) {
+	groups := CoalesceLight(pl.soc, requests, maxBatch)
+	models := make([]*model.Model, len(groups))
+	for i, g := range groups {
+		models[i] = g.Model
+	}
+	f, err := pl.PlanFrontierModelsContext(ctx, models)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, groups, nil
+}
+
+// OrderGroups permutes batch groups into a plan's request order:
+// out[pos] = groups[plan.Order[pos]]. The input is untouched.
+func OrderGroups(groups []BatchGroup, order []int) []BatchGroup {
 	ordered := make([]BatchGroup, len(groups))
-	for pos, orig := range plan.Order {
+	for pos, orig := range order {
 		ordered[pos] = groups[orig]
 	}
-	return plan, ordered, nil
+	return ordered
 }

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/soc"
+)
+
+// frontierPlanner builds a fresh planner for the frontier tests.
+func frontierPlanner(t *testing.T, s *soc.SoC, parallelism, planCache int) *Planner {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Parallelism = parallelism
+	opts.PlanCache = planCache
+	pl, err := NewPlanner(s, opts)
+	if err != nil {
+		t.Fatalf("NewPlanner(%s): %v", s.Name, err)
+	}
+	return pl
+}
+
+// TestDifferentialFrontierLatencyCritical pins the correctness anchor of the
+// frontier mode: the latency-critical point of the Pareto frontier must be
+// byte-identical to the min-makespan planner's output — at every parallelism,
+// with the plan cache off and on, and on the frontier cache's hit path.
+func TestDifferentialFrontierLatencyCritical(t *testing.T) {
+	windows := [][]string{
+		{model.ResNet50},
+		{model.ResNet50, model.SqueezeNet},
+		{model.BERT, model.MobileNetV2, model.GoogLeNet},
+		{model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50},
+	}
+	for _, s := range soc.AllPresets() {
+		for _, names := range windows {
+			models := mustModels(t, names...)
+			for _, par := range []int{1, 2, 4} {
+				for _, cache := range []int{0, 8} {
+					label := fmt.Sprintf("%s/%v par=%d cache=%d", s.Name, names, par, cache)
+					want := canonicalPlan(mustPlan(t, frontierPlanner(t, s, par, cache), models))
+
+					pl := frontierPlanner(t, s, par, cache)
+					f, err := pl.PlanFrontierModels(models)
+					if err != nil {
+						t.Fatalf("%s: PlanFrontierModels: %v", label, err)
+					}
+					if f.Size() == 0 {
+						t.Fatalf("%s: empty frontier", label)
+					}
+					pt := f.Select(SLOLatencyCritical)
+					if got := canonicalPlan(pt.Plan); got != want {
+						t.Errorf("%s: latency-critical frontier point differs from min-makespan plan:\n--- makespan ---\n%s--- frontier ---\n%s", label, want, got)
+					}
+					// The unset class must fall back to the same point.
+					if got := canonicalPlan(f.Select(SLOClass{}).Plan); got != want {
+						t.Errorf("%s: unset-SLO selection differs from min-makespan plan", label)
+					}
+					if cache > 0 {
+						// Second call hits the frontier cache: the deep copy
+						// must stay byte-identical.
+						f2, err := pl.PlanFrontierModels(models)
+						if err != nil {
+							t.Fatalf("%s: cached PlanFrontierModels: %v", label, err)
+						}
+						if hits, _ := pl.PlanCacheStats(); hits == 0 {
+							t.Fatalf("%s: expected a frontier cache hit", label)
+						}
+						if got := canonicalPlan(f2.Select(SLOLatencyCritical).Plan); got != want {
+							t.Errorf("%s: cache-hit frontier point differs from min-makespan plan", label)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustPlan(t *testing.T, pl *Planner, models []*model.Model) *Plan {
+	t.Helper()
+	plan, err := pl.PlanModels(models)
+	if err != nil {
+		t.Fatalf("PlanModels: %v", err)
+	}
+	return plan
+}
+
+// TestFrontierNoDominatedPoints is the dominance property test: no returned
+// point may be Pareto-dominated by (or equal in every axis to) another.
+func TestFrontierNoDominatedPoints(t *testing.T) {
+	windows := [][]string{
+		{model.ResNet50, model.SqueezeNet},
+		{model.BERT, model.MobileNetV2, model.GoogLeNet},
+		{model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50},
+		{model.VGG16, model.InceptionV4, model.ViT},
+	}
+	for _, s := range soc.AllPresets() {
+		for _, names := range windows {
+			pl := frontierPlanner(t, s, 0, 0)
+			f, err := pl.PlanFrontierModels(mustModels(t, names...))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", s.Name, names, err)
+			}
+			for i := range f.Points {
+				for j := range f.Points {
+					if i == j {
+						continue
+					}
+					if f.Points[j].Objective.Dominates(f.Points[i].Objective) {
+						t.Errorf("%s/%v: point %d %+v dominated by point %d %+v",
+							s.Name, names, i, f.Points[i].Objective, j, f.Points[j].Objective)
+					}
+					if i < j && equalObjective(f.Points[i].Objective, f.Points[j].Objective) {
+						t.Errorf("%s/%v: duplicate objective at points %d and %d", s.Name, names, i, j)
+					}
+				}
+			}
+			// Sorted by makespan ascending, candidate index breaking ties.
+			for i := 1; i < f.Size(); i++ {
+				a, b := f.Points[i-1], f.Points[i]
+				if b.Objective.Makespan < a.Objective.Makespan {
+					t.Errorf("%s/%v: frontier not sorted by makespan at %d", s.Name, names, i)
+				}
+				if b.Objective.Makespan == a.Objective.Makespan && b.Candidate < a.Candidate {
+					t.Errorf("%s/%v: candidate tie-break violated at %d", s.Name, names, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierBatterySaverEnergy: on the same window, the battery-saver class
+// must never select a point with more energy than the latency-critical class.
+func TestFrontierBatterySaverEnergy(t *testing.T) {
+	windows := [][]string{
+		{model.ResNet50, model.SqueezeNet},
+		{model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50},
+		{model.BERT, model.MobileNetV2, model.GoogLeNet, model.AlexNet},
+	}
+	for _, s := range soc.AllPresets() {
+		for _, names := range windows {
+			pl := frontierPlanner(t, s, 0, 0)
+			f, err := pl.PlanFrontierModels(mustModels(t, names...))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", s.Name, names, err)
+			}
+			saver := f.Select(SLOBatterySaver)
+			crit := f.Select(SLOLatencyCritical)
+			if saver.Objective.EnergyJoules > crit.Objective.EnergyJoules {
+				t.Errorf("%s/%v: battery-saver picked %.4f J > latency-critical %.4f J",
+					s.Name, names, saver.Objective.EnergyJoules, crit.Objective.EnergyJoules)
+			}
+			if crit.Objective.Makespan > saver.Objective.Makespan {
+				t.Errorf("%s/%v: latency-critical picked %v > battery-saver %v makespan",
+					s.Name, names, crit.Objective.Makespan, saver.Objective.Makespan)
+			}
+		}
+	}
+}
+
+// TestPlanCacheFrontierCoexistence: single plans and frontiers share one LRU
+// but live under distinct mode keys — planning both shapes for the same
+// window must not cross-contaminate.
+func TestPlanCacheFrontierCoexistence(t *testing.T) {
+	s := soc.Kirin990()
+	models := mustModels(t, model.ResNet50, model.SqueezeNet)
+	pl := frontierPlanner(t, s, 0, 8)
+
+	plan, err := pl.PlanModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pl.PlanFrontierModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := pl.PlanCacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("after one plan + one frontier: hits=%d misses=%d, want 0/2 (distinct mode keys)", hits, misses)
+	}
+	// Both shapes now hit their own entries.
+	plan2, err := pl.PlanModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := pl.PlanFrontierModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := pl.PlanCacheStats(); hits != 2 || misses != 2 {
+		t.Fatalf("after replans: hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	if canonicalPlan(plan2) != canonicalPlan(plan) {
+		t.Error("cached single plan differs from fresh plan")
+	}
+	if f2.Size() != f.Size() {
+		t.Fatalf("cached frontier size %d != fresh %d", f2.Size(), f.Size())
+	}
+	for i := range f.Points {
+		if canonicalPlan(f2.Points[i].Plan) != canonicalPlan(f.Points[i].Plan) {
+			t.Errorf("cached frontier point %d differs from fresh", i)
+		}
+		if f2.Points[i].Objective != f.Points[i].Objective {
+			t.Errorf("cached frontier objective %d differs from fresh", i)
+		}
+	}
+	// Deep copy: mutating the returned frontier must not poison the cache.
+	f2.Points[0].Plan.Order[0] = -1
+	f3, err := pl.PlanFrontierModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Points[0].Plan.Order[0] == -1 {
+		t.Error("frontier cache returned a shared plan, not a deep copy")
+	}
+}
+
+// TestParseSLOClass is the table-driven grammar test for SLO class parsing.
+func TestParseSLOClass(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    SLOClass
+		wantErr bool
+	}{
+		{in: "", want: SLOClass{}},
+		{in: "latency-critical", want: SLOLatencyCritical},
+		{in: "latency", want: SLOLatencyCritical},
+		{in: "  Latency-Critical ", want: SLOLatencyCritical},
+		{in: "balanced", want: SLOBalanced},
+		{in: "battery-saver", want: SLOBatterySaver},
+		{in: "battery", want: SLOBatterySaver},
+		{in: "energy", want: SLOBatterySaver},
+		{in: "custom:1,2,3,4", want: CustomSLO(Weights{Makespan: 1, Throughput: 2, Energy: 3, Memory: 4})},
+		{in: "custom:0.5,0,0,1", want: CustomSLO(Weights{Makespan: 0.5, Memory: 1})},
+		{in: "gold", wantErr: true},
+		{in: "custom:1,2,3", wantErr: true},
+		{in: "custom:1,2,3,4,5", wantErr: true},
+		{in: "custom:1,2,x,4", wantErr: true},
+		{in: "custom:1,2,-3,4", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseSLOClass(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSLOClass(%q): expected error, got %+v", tc.in, got)
+			} else if !errors.Is(err, ErrUnknownSLOClass) {
+				t.Errorf("ParseSLOClass(%q): error %v does not wrap ErrUnknownSLOClass", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSLOClass(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSLOClass(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseObjective is the table-driven test for the planning-mode names.
+func TestParseObjective(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ObjectiveMode
+		wantErr bool
+	}{
+		{in: "", want: ObjectiveMakespan},
+		{in: "makespan", want: ObjectiveMakespan},
+		{in: "latency", want: ObjectiveMakespan},
+		{in: "frontier", want: ObjectiveFrontier},
+		{in: "pareto", want: ObjectiveFrontier},
+		{in: " Frontier ", want: ObjectiveFrontier},
+		{in: "speed", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseObjective(tc.in)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("ParseObjective(%q): err=%v, wantErr=%v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseObjective(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestStrictestSLO checks the strictness ordering used for per-window class
+// resolution: latency-critical > custom > balanced > battery-saver > unset.
+func TestStrictestSLO(t *testing.T) {
+	custom := CustomSLO(Weights{Makespan: 1})
+	cases := []struct {
+		in   []SLOClass
+		want SLOClass
+	}{
+		{in: nil, want: SLOClass{}},
+		{in: []SLOClass{SLOBatterySaver}, want: SLOBatterySaver},
+		{in: []SLOClass{SLOBatterySaver, SLOBalanced}, want: SLOBalanced},
+		{in: []SLOClass{SLOBalanced, custom}, want: custom},
+		{in: []SLOClass{SLOBatterySaver, custom, SLOLatencyCritical}, want: SLOLatencyCritical},
+		{in: []SLOClass{{}, SLOBatterySaver}, want: SLOBatterySaver},
+	}
+	for _, tc := range cases {
+		if got := StrictestSLO(tc.in...); got != tc.want {
+			t.Errorf("StrictestSLO(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -47,11 +47,24 @@ import (
 // planKey is the canonical window signature.
 type planKey = string
 
+// Objective-mode dimension of the signature: single-plan and frontier
+// entries share the LRU but can never collide, because the mode is the
+// first byte of the key.
+const (
+	modeSinglePlan = "s"
+	modeFrontier   = "f"
+)
+
 // planSignature builds the canonical signature for a window of models
-// planned at the given SoC epoch under the fingerprinted options.
-func planSignature(epoch uint64, optsFP string, models []*model.Model) planKey {
+// planned at the given SoC epoch under the fingerprinted options. mode is
+// the objective dimension (modeSinglePlan or modeFrontier): a frontier and
+// the single min-makespan plan for the same window are distinct cache
+// values with distinct keys.
+func planSignature(mode string, epoch uint64, optsFP string, models []*model.Model) planKey {
 	var b strings.Builder
-	b.Grow(len(optsFP) + 20 + 17*len(models))
+	b.Grow(len(mode) + len(optsFP) + 21 + 17*len(models))
+	b.WriteString(mode)
+	b.WriteByte('|')
 	b.WriteString(strconv.FormatUint(epoch, 16))
 	b.WriteByte('|')
 	b.WriteString(optsFP)
@@ -110,12 +123,15 @@ func optionsFingerprint(o Options) string {
 		o.ExecOptions.Contention, o.ExecOptions.EnforceMemory, o.ExecOptions.SampleMemory, est)
 }
 
-// planEntry is one memoized plan plus the ordered model identities backing
-// its signature (the structural collision guard).
+// planEntry is one memoized value — a single plan or a whole frontier,
+// exactly one of the two set, matching the key's mode byte — plus the
+// ordered model identities backing its signature (the structural collision
+// guard).
 type planEntry struct {
-	key    planKey
-	models []*model.Model
-	plan   *Plan
+	key      planKey
+	models   []*model.Model
+	plan     *Plan
+	frontier *Frontier
 }
 
 // planCache is a bounded LRU of whole plans. All methods are safe for
@@ -152,7 +168,7 @@ func (c *planCache) get(key planKey, models []*model.Model) *Plan {
 	el, ok := c.entries[key]
 	if ok {
 		e := el.Value.(*planEntry)
-		if sameModels(e.models, models) {
+		if e.plan != nil && sameModels(e.models, models) {
 			c.order.MoveToFront(el)
 			plan := deepCopyPlan(e.plan)
 			c.mu.Unlock()
@@ -167,14 +183,50 @@ func (c *planCache) get(key planKey, models []*model.Model) *Plan {
 	return nil
 }
 
+// getFrontier is get for whole-frontier entries: a deep copy of the
+// memoized frontier for key, or nil. Same LRU, same hit/miss counters —
+// one hit means one window's planning skipped, regardless of mode.
+func (c *planCache) getFrontier(key planKey, models []*model.Model) *Frontier {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*planEntry)
+		if e.frontier != nil && sameModels(e.models, models) {
+			c.order.MoveToFront(el)
+			f := deepCopyFrontier(e.frontier)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			c.hitC.Inc()
+			return f
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	c.missC.Inc()
+	return nil
+}
+
 // put memoizes a private deep copy of plan under key, evicting the
 // least-recently-used entries beyond the capacity bound.
 func (c *planCache) put(key planKey, models []*model.Model, plan *Plan) {
-	entry := &planEntry{
+	c.putEntry(&planEntry{
 		key:    key,
 		models: append([]*model.Model(nil), models...),
 		plan:   deepCopyPlan(plan),
-	}
+	})
+}
+
+// putFrontier memoizes a private deep copy of a whole frontier under key.
+func (c *planCache) putFrontier(key planKey, models []*model.Model, f *Frontier) {
+	c.putEntry(&planEntry{
+		key:      key,
+		models:   append([]*model.Model(nil), models...),
+		frontier: deepCopyFrontier(f),
+	})
+}
+
+func (c *planCache) putEntry(entry *planEntry) {
+	key := entry.key
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		el.Value = entry
@@ -258,6 +310,20 @@ func deepCopyPlan(p *Plan) *Plan {
 	return out
 }
 
+// deepCopyFrontier clones every plan on the frontier (objectives and
+// candidate indices are values). Cache and caller never alias.
+func deepCopyFrontier(f *Frontier) *Frontier {
+	out := &Frontier{Points: make([]FrontierPoint, len(f.Points))}
+	for i, p := range f.Points {
+		out.Points[i] = FrontierPoint{
+			Plan:      deepCopyPlan(p.Plan),
+			Objective: p.Objective,
+			Candidate: p.Candidate,
+		}
+	}
+	return out
+}
+
 // PlanCacheStats returns the planner's lifetime whole-plan cache hit/miss
 // counters: one hit per window served from the cache, one miss per window
 // that ran the full two-step optimisation. Both zero when the cache is
@@ -279,5 +345,5 @@ func (pl *Planner) HasCachedPlan(models []*model.Model) bool {
 	if pl.planCache == nil {
 		return false
 	}
-	return pl.planCache.contains(planSignature(pl.soc.Epoch(), pl.optsFP, models), models)
+	return pl.planCache.contains(planSignature(modeSinglePlan, pl.soc.Epoch(), pl.optsFP, models), models)
 }

@@ -433,16 +433,16 @@ func FuzzPlanCacheKey(f *testing.F) {
 		}
 		optsA, optsB := fuzzOptions(bitsA), fuzzOptions(bitsB)
 		fpA, fpB := optionsFingerprint(optsA), optionsFingerprint(optsB)
-		sigA := planSignature(0, fpA, winA)
-		sigB := planSignature(0, fpB, winB)
+		sigA := planSignature(modeSinglePlan, 0, fpA, winA)
+		sigB := planSignature(modeSinglePlan, 0, fpB, winB)
 
 		// Determinism: recomputing a signature from the same inputs must
 		// reproduce it exactly.
-		if again := planSignature(0, fpA, winA); again != sigA {
+		if again := planSignature(modeSinglePlan, 0, fpA, winA); again != sigA {
 			t.Fatalf("signature not deterministic: %q vs %q", sigA, again)
 		}
 		// Epoch separation: the same window at a later epoch never matches.
-		if bumped := planSignature(1, fpA, winA); bumped == sigA {
+		if bumped := planSignature(modeSinglePlan, 1, fpA, winA); bumped == sigA {
 			t.Fatalf("epoch bump did not change the signature %q", sigA)
 		}
 		if sigA != sigB {

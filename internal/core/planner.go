@@ -113,9 +113,18 @@ type Planner struct {
 	dpCells atomic.Uint64
 	// Registry handles, resolved once at construction (detached no-op
 	// instruments when Options.Metrics is nil).
-	mPlans       *obs.Counter
-	mDPCells     *obs.Counter
-	mPlanSeconds *obs.Histogram
+	mPlans        *obs.Counter
+	mDPCells      *obs.Counter
+	mPlanSeconds  *obs.Histogram
+	mFrontiers    *obs.Counter
+	mFrontierSize *obs.Histogram
+}
+
+// frontierSizeBuckets bound the planner_frontier_size histogram: the
+// frontier is capped by the candidate count (6 under DefaultOptions),
+// with headroom for custom orderings.
+func frontierSizeBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16}
 }
 
 // NewPlanner validates the SoC and returns a planner.
@@ -128,12 +137,14 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 	}
 	reg := opts.Metrics
 	pl := &Planner{
-		soc:          s,
-		opts:         opts,
-		cache:        newCostCache(s, reg),
-		mPlans:       reg.Counter("planner_plans_total"),
-		mDPCells:     reg.Counter("planner_dp_cells_total"),
-		mPlanSeconds: reg.Histogram("planner_plan_seconds", obs.LatencyBuckets()),
+		soc:           s,
+		opts:          opts,
+		cache:         newCostCache(s, reg),
+		mPlans:        reg.Counter("planner_plans_total"),
+		mDPCells:      reg.Counter("planner_dp_cells_total"),
+		mPlanSeconds:  reg.Histogram("planner_plan_seconds", obs.LatencyBuckets()),
+		mFrontiers:    reg.Counter("planner_frontiers_total"),
+		mFrontierSize: reg.Histogram("planner_frontier_size", frontierSizeBuckets()),
 	}
 	if opts.PlanCache > 0 {
 		pl.planCache = newPlanCache(opts.PlanCache, reg)
@@ -254,7 +265,7 @@ func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.
 		for i, p := range profiles {
 			models[i] = p.Model()
 		}
-		key = planSignature(pl.soc.Epoch(), pl.optsFP, models)
+		key = planSignature(modeSinglePlan, pl.soc.Epoch(), pl.optsFP, models)
 		if plan := pl.planCache.get(key, models); plan != nil {
 			sp.SetAttrs(obs.Str("plan_cache", "hit"))
 			sp.End()
@@ -298,11 +309,160 @@ func (pl *Planner) PlanProfilesContext(ctx context.Context, profiles []*profile.
 	return plan, nil
 }
 
+// PlanFrontierModels is PlanModels in frontier mode: instead of collapsing
+// the candidate sweep to the min-makespan plan, it returns the whole
+// non-dominated frontier over (makespan, throughput, energy, peak memory).
+func (pl *Planner) PlanFrontierModels(models []*model.Model) (*Frontier, error) {
+	return pl.PlanFrontierModelsContext(context.Background(), models)
+}
+
+// PlanFrontierModelsContext is PlanFrontierModels under a cancellable
+// context.
+func (pl *Planner) PlanFrontierModelsContext(ctx context.Context, models []*model.Model) (*Frontier, error) {
+	profiles := make([]*profile.Profile, len(models))
+	err := parallel.ForErr(pl.workers(), len(models), func(i int) error {
+		if ctx.Err() != nil {
+			return cancelErr(ctx)
+		}
+		p, err := pl.Profile(models[i])
+		if err != nil {
+			return fmt.Errorf("core: profiling %s: %w", models[i].Name, err)
+		}
+		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pl.PlanFrontierProfilesContext(ctx, profiles)
+}
+
+// PlanFrontierProfiles is PlanFrontierModels for pre-built profiles.
+func (pl *Planner) PlanFrontierProfiles(profiles []*profile.Profile) (*Frontier, error) {
+	return pl.PlanFrontierProfilesContext(context.Background(), profiles)
+}
+
+// PlanFrontierProfilesContext enumerates the Pareto frontier of the
+// candidate sweep under a cancellable context. Each call runs under a
+// "plan" span with objective="frontier" and a frontier_size attribute.
+// With Options.PlanCache enabled whole frontiers are memoized alongside
+// single plans under the same epoch/options/digest signature with a
+// distinct objective-mode dimension, so the two modes never collide; hits
+// return a deep copy. The frontier's first point (min makespan, lowest
+// candidate index) is byte-identical to PlanProfilesContext's plan —
+// pinned by the differential suite.
+func (pl *Planner) PlanFrontierProfilesContext(ctx context.Context, profiles []*profile.Profile) (*Frontier, error) {
+	start := time.Now()
+	hits0, misses0 := pl.CacheStats()
+	var sp *obs.Span
+	if obs.TracingEnabled(ctx) {
+		ctx, sp = obs.StartSpan(ctx, "plan",
+			obs.Int("profiles", int64(len(profiles))), obs.Str("objective", "frontier"))
+	}
+	var key planKey
+	var models []*model.Model
+	if pl.planCache != nil {
+		models = make([]*model.Model, len(profiles))
+		for i, p := range profiles {
+			models[i] = p.Model()
+		}
+		key = planSignature(modeFrontier, pl.soc.Epoch(), pl.optsFP, models)
+		if f := pl.planCache.getFrontier(key, models); f != nil {
+			sp.SetAttrs(obs.Str("plan_cache", "hit"), obs.Int("frontier_size", int64(f.Size())))
+			sp.End()
+			wall := time.Since(start)
+			pl.mPlans.Inc()
+			pl.mFrontiers.Inc()
+			pl.mFrontierSize.Observe(float64(f.Size()))
+			pl.mPlanSeconds.ObserveDuration(wall)
+			if pl.opts.Logger != nil {
+				pl.opts.Logger.Log(ctx, slog.LevelDebug, "frontier complete",
+					"profiles", len(profiles), "wall", wall, "points", f.Size(),
+					"plan_cache", "hit", "span", sp.IDHex())
+			}
+			return f, nil
+		}
+	}
+	f, err := pl.planFrontierProfiles(ctx, profiles)
+	hits1, misses1 := pl.CacheStats()
+	if sp != nil {
+		sp.SetAttrs(
+			obs.Int("cache_hits", int64(hits1-hits0)),
+			obs.Int("cache_misses", int64(misses1-misses0)))
+		if err == nil {
+			sp.SetAttrs(obs.Int("frontier_size", int64(f.Size())))
+		}
+		if pl.planCache != nil {
+			sp.SetAttrs(obs.Str("plan_cache", "miss"))
+		}
+		sp.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if pl.planCache != nil {
+		pl.planCache.putFrontier(key, models, f)
+	}
+	wall := time.Since(start)
+	pl.mPlans.Inc()
+	pl.mFrontiers.Inc()
+	pl.mFrontierSize.Observe(float64(f.Size()))
+	pl.mPlanSeconds.ObserveDuration(wall)
+	if pl.opts.Logger != nil {
+		pl.opts.Logger.Log(ctx, slog.LevelDebug, "frontier complete",
+			"profiles", len(profiles), "wall", wall, "points", f.Size(),
+			"cache_hits", hits1-hits0, "cache_misses", misses1-misses0,
+			"span", sp.IDHex())
+	}
+	return f, nil
+}
+
+// planFrontierProfiles is the uncached frontier enumeration: the shared
+// candidate sweep followed by the dominance filter.
+func (pl *Planner) planFrontierProfiles(ctx context.Context, profiles []*profile.Profile) (*Frontier, error) {
+	if len(profiles) == 0 {
+		// An empty window has exactly one (degenerate) plan; keep Select
+		// total by returning a one-point frontier around it.
+		empty := &Plan{Schedule: &pipeline.Schedule{SoC: pl.soc}}
+		return &Frontier{Points: []FrontierPoint{{Plan: empty}}}, nil
+	}
+	plans, objs, err := pl.planCandidates(ctx, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return newFrontier(plans, objs), nil
+}
+
 func (pl *Planner) planProfiles(ctx context.Context, profiles []*profile.Profile) (*Plan, error) {
-	m := len(profiles)
-	if m == 0 {
+	if len(profiles) == 0 {
 		return &Plan{Schedule: &pipeline.Schedule{SoC: pl.soc}}, nil
 	}
+	plans, objs, err := pl.planCandidates(ctx, profiles)
+	if err != nil {
+		return nil, err
+	}
+	// The first candidate achieving the minimal executed makespan wins,
+	// exactly as the sequential strict-improvement loop decides. The
+	// comparison is in float seconds, preserving the pre-frontier planner's
+	// tie semantics bit for bit.
+	var bestPlan *Plan
+	var bestSpan float64
+	for ci, plan := range plans {
+		if span := objs[ci].Makespan.Seconds(); bestPlan == nil || span < bestSpan {
+			bestPlan, bestSpan = plan, span
+		}
+	}
+	return bestPlan, nil
+}
+
+// planCandidates runs the full two-step optimisation and returns every
+// candidate ordering's plan with its executed objective vector, in
+// deterministic candidate order. The single-objective planner collapses
+// this sweep to the min-makespan plan; frontier mode keeps the
+// non-dominated set — the other axes come for free because every candidate
+// is already priced by the executor.
+func (pl *Planner) planCandidates(ctx context.Context, profiles []*profile.Profile) ([]*Plan, []Objective, error) {
+	m := len(profiles)
 	k := pl.soc.NumProcessors()
 
 	// Step 1 — horizontal: Algorithm 1 per model, independently. The DPs
@@ -320,7 +480,7 @@ func (pl *Planner) planProfiles(ctx context.Context, profiles []*profile.Profile
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Contention intensities and H/L classes.
@@ -352,41 +512,34 @@ func (pl *Planner) planProfiles(ctx context.Context, profiles []*profile.Profile
 
 	// Every candidate's vertical pass is independent (each works on its own
 	// cut copies); evaluate them across the pool and merge in candidate
-	// order — the first candidate achieving the minimal executed makespan
-	// wins, exactly as the sequential strict-improvement loop decides.
+	// order, so both the single-objective winner scan and the frontier's
+	// candidate-index tie-breaks are byte-identical at every parallelism.
 	plans := make([]*Plan, len(candidates))
-	spans := make([]float64, len(candidates))
+	objs := make([]Objective, len(candidates))
 	err = parallel.ForErr(pl.workers(), len(candidates), func(ci int) error {
 		if ctx.Err() != nil {
 			return cancelErr(ctx)
 		}
-		plan, span, err := pl.verticalPass(ctx, profiles, cuts, classes, intensities, makespans, candidates[ci], k)
+		plan, obj, err := pl.verticalPass(ctx, profiles, cuts, classes, intensities, makespans, candidates[ci], k)
 		if err != nil {
 			return err
 		}
 		plans[ci] = plan
-		spans[ci] = span
+		objs[ci] = obj
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var bestPlan *Plan
-	var bestSpan float64
-	for ci, plan := range plans {
-		if bestPlan == nil || spans[ci] < bestSpan {
-			bestPlan, bestSpan = plan, spans[ci]
-		}
-	}
-	return bestPlan, nil
+	return plans, objs, nil
 }
 
 // verticalPass runs steps 2b (guarded work stealing) and 2c (tail local
 // search) for one candidate ordering and returns the plan plus its executed
-// makespan in seconds.
+// objective vector (makespan, throughput, energy, peak memory).
 func (pl *Planner) verticalPass(ctx context.Context, profiles []*profile.Profile, cuts []pipeline.Cuts,
 	classes []contention.Class, intensities, makespans []float64,
-	order []int, k int) (*Plan, float64, error) {
+	order []int, k int) (*Plan, Objective, error) {
 	m := len(order)
 	ordProfiles := make([]*profile.Profile, m)
 	ordCuts := make([]pipeline.Cuts, m)
@@ -416,21 +569,21 @@ func (pl *Planner) verticalPass(ctx context.Context, profiles []*profile.Profile
 		WorkStealParallel(ordProfiles, stolen, k, pl.workers())
 		keep, err := pl.betterCuts(ordProfiles, ordCuts, stolen)
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: work stealing: %w", err)
+			return nil, Objective{}, fmt.Errorf("core: work stealing: %w", err)
 		}
 		ordCuts = keep
 	}
 
 	sched, err := pipeline.FromCuts(pl.soc, ordProfiles, ordCuts)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: assembling schedule: %w", err)
+		return nil, Objective{}, fmt.Errorf("core: assembling schedule: %w", err)
 	}
 
 	// Step 2c — tail-bubble local search.
 	if pl.opts.TailOptimization {
 		sched, err = OptimizeTailContext(ctx, sched, pl.opts.ExecOptions, pl.workers())
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: tail optimisation: %w", err)
+			return nil, Objective{}, fmt.Errorf("core: tail optimisation: %w", err)
 		}
 		for i := range ordCuts {
 			ordCuts[i] = cutsOf(sched, i)
@@ -439,7 +592,7 @@ func (pl *Planner) verticalPass(ctx context.Context, profiles []*profile.Profile
 
 	res, err := pipeline.Execute(sched, pl.opts.ExecOptions)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: evaluating candidate order: %w", err)
+		return nil, Objective{}, fmt.Errorf("core: evaluating candidate order: %w", err)
 	}
 
 	return &Plan{
@@ -449,7 +602,18 @@ func (pl *Planner) verticalPass(ctx context.Context, profiles []*profile.Profile
 		Intensities:         ordIntensities,
 		Cuts:                ordCuts,
 		HorizontalMakespans: ordMakespans,
-	}, res.Makespan.Seconds(), nil
+	}, objectiveOf(res), nil
+}
+
+// objectiveOf projects an executed pipeline result onto the planner's
+// objective axes.
+func objectiveOf(res *pipeline.Result) Objective {
+	return Objective{
+		Makespan:        res.Makespan,
+		Throughput:      res.Throughput(),
+		EnergyJoules:    res.EnergyJoules,
+		PeakMemoryBytes: res.PeakMemoryBytes,
+	}
 }
 
 // measuredIntensity is the fallback ground-truth intensity: solo bus demand

@@ -112,6 +112,8 @@ func mergeStreamDefaults(cfg stream.Config) stream.Config {
 	def.Feed = cfg.Feed
 	def.CollectWindowTraces = cfg.CollectWindowTraces
 	def.HaltInfeasible = cfg.HaltInfeasible
+	def.Objective = cfg.Objective
+	def.SLO = cfg.SLO
 	if cfg.MaxBatch != 0 {
 		def.MaxBatch = cfg.MaxBatch
 	}
@@ -183,6 +185,12 @@ func (d *Device) Run(ctx context.Context, requests []stream.Request, cfg stream.
 	}
 	if cfg.Feed == nil {
 		cfg.Feed = d.feed
+	}
+	if cfg.Objective == core.ObjectiveMakespan {
+		cfg.Objective = d.cfg.Objective
+	}
+	if cfg.SLO.Kind == core.SLOUnset {
+		cfg.SLO = d.cfg.SLO
 	}
 	sched, err := stream.NewScheduler(d.planner, cfg)
 	if err != nil {

@@ -394,6 +394,10 @@ func (f *Fleet) RunContext(ctx context.Context, requests []stream.Request, execO
 					Arrival:  h.arrival,
 					Deadline: requests[h.idx].Deadline,
 					Handoff:  true,
+					// The SLO class travels with the request: failover must
+					// not silently relax (or tighten) the objective a request
+					// asked for when it lands on the rescue device.
+					SLO: requests[h.idx].SLO,
 				}
 				idxs[i] = h.idx
 			}

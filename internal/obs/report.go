@@ -91,6 +91,14 @@ type WindowReport struct {
 	// Handoffs counts the requests completed in this window that arrived
 	// via fleet failover from another device.
 	Handoffs int `json:"handoffs,omitempty"`
+	// EnergyJoules prices the window's executed schedule under the SoC
+	// power model (populated in every planning mode).
+	EnergyJoules float64 `json:"energy_joules,omitempty"`
+	// SLO and FrontierSize describe frontier-mode planning: the class the
+	// window resolved and the number of non-dominated points the planner
+	// returned. Both empty under makespan planning.
+	SLO          string `json:"slo,omitempty"`
+	FrontierSize int    `json:"frontier_size,omitempty"`
 }
 
 // JSON renders the report as indented JSON.

@@ -434,22 +434,15 @@ func requestMemory(s *Schedule, i int) int64 {
 	return total
 }
 
-// measureEnergy prices the run: each processor's accumulated busy time at
-// its busy power, the rest of the makespan at idle power.
+// measureEnergy prices the run: the timeline's per-processor busy profile
+// rolled up through the SoC's energy model (busy time at busy power, the
+// rest of the makespan at idle power; see soc.SoC.EnergyRollup).
 func measureEnergy(s *soc.SoC, timeline []SliceExec, makespan time.Duration) float64 {
 	busy := make([]time.Duration, s.NumProcessors())
 	for _, e := range timeline {
 		busy[e.Stage] += e.End - e.Start
 	}
-	var total float64
-	for k := range s.Processors {
-		idle := makespan - busy[k]
-		if idle < 0 {
-			idle = 0
-		}
-		total += s.Processors[k].EnergyJoules(busy[k], idle)
-	}
-	return total
+	return s.EnergyRollup(busy, makespan)
 }
 
 // measureBubbles sums each busy processor's idle gaps between its first and

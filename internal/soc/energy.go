@@ -53,3 +53,26 @@ func (p *Processor) EnergyJoules(busy, idle time.Duration) float64 {
 	pw := p.PowerOf()
 	return pw.BusyWatts*busy.Seconds() + pw.IdleWatts*idle.Seconds()
 }
+
+// EnergyRollup prices a whole plan execution: busy[k] is processor k's
+// accumulated busy time, charged at busy power; the rest of the makespan is
+// charged at idle power. Entries beyond the processor count are ignored and
+// negative idle residue (busy beyond the makespan, which cannot arise from
+// a well-formed timeline) clamps to zero. This is the single authoritative
+// mapping from a schedule's busy profile to joules — the executor and the
+// planner's per-plan objective both roll up through it.
+func (s *SoC) EnergyRollup(busy []time.Duration, makespan time.Duration) float64 {
+	var total float64
+	for k := range s.Processors {
+		var b time.Duration
+		if k < len(busy) {
+			b = busy[k]
+		}
+		idle := makespan - b
+		if idle < 0 {
+			idle = 0
+		}
+		total += s.Processors[k].EnergyJoules(b, idle)
+	}
+	return total
+}

@@ -49,6 +49,12 @@ type Request struct {
 	// on WindowStat.Handoffs and Result.Handoffs (and the
 	// stream_handoffs_total counter); scheduling is otherwise identical.
 	Handoff bool
+	// SLO is the request's service-level objective class. Under frontier
+	// planning (Config.Objective) each window resolves the strictest class
+	// among its members (core.StrictestSLO) and executes the frontier point
+	// serving it; under makespan planning the class is carried but inert.
+	// The zero value defers to Config.SLO.
+	SLO core.SLOClass
 }
 
 // Config tunes the online scheduler.
@@ -105,6 +111,16 @@ type Config struct {
 	// is true while RunContext is accepting admissions). Nil disables the
 	// feed.
 	Feed *Feed
+	// Objective selects the planning mode per window: the zero value
+	// (core.ObjectiveMakespan) plans the min-makespan schedule as always;
+	// core.ObjectiveFrontier enumerates the Pareto frontier over (makespan,
+	// throughput, energy, peak memory) and executes the point selected by
+	// the window's resolved SLO class.
+	Objective core.ObjectiveMode
+	// SLO is the default class for requests that carry none. Unset falls
+	// back to core.SLOLatencyCritical, which keeps frontier mode's selected
+	// plans byte-identical to makespan mode.
+	SLO core.SLOClass
 }
 
 // DefaultConfig plans up to eight requests per window with batching on and
@@ -143,6 +159,16 @@ type WindowStat struct {
 	// Handoffs counts completions in this window of requests re-admitted by
 	// fleet failover (Request.Handoff).
 	Handoffs int
+	// Objective is the executed objective vector of the plan this window
+	// ran (populated in every mode — under makespan planning it prices the
+	// winning plan, under frontier planning the selected point).
+	Objective core.Objective
+	// SLO is the class the window resolved (the strictest among its
+	// members, or the config default); FrontierSize the number of
+	// non-dominated points the planner returned. Both are zero-valued under
+	// makespan planning.
+	SLO          core.SLOClass
+	FrontierSize int
 }
 
 // WindowTrace retains one executed window for trace emission: the schedule,
@@ -448,6 +474,7 @@ runLoop:
 		var groups []core.BatchGroup
 		var take int
 		var window []int
+		var winSLO core.SLOClass
 		for attempt := 0; ; attempt++ {
 			// Admit everything that has arrived by now.
 			for next < n && requests[next].Arrival <= now {
@@ -460,8 +487,11 @@ runLoop:
 			for i, global := range window {
 				models[i] = requests[global].Model
 			}
+			// The resolved class can change between attempts: backoff admits
+			// new arrivals, and a stricter member tightens the whole window.
+			winSLO = s.windowSLO(requests, window)
 			var err error
-			sched, groups, err = s.planWindow(wctx, models)
+			sched, groups, ws.FrontierSize, err = s.planWindow(wctx, models, winSLO)
 			if err == nil {
 				break
 			}
@@ -510,6 +540,15 @@ runLoop:
 		ws.PlanCacheHits, ws.PlanCacheMisses = planHitsW2-planHitsW, planMissesW2-planMissesW
 		ws.DPCells = s.planner.DPCells() - cellsW
 		ws.Requests = take
+		if s.cfg.Objective == core.ObjectiveFrontier {
+			ws.SLO = winSLO
+			// Per-class selection traffic: one increment per window, labeled
+			// by the resolved class.
+			reg.WithLabels("slo", winSLO.String()).Counter("stream_objective_choice_total").Inc()
+			wspan.SetAttrs(
+				obs.Str("slo", winSLO.String()),
+				obs.Int("frontier_size", int64(ws.FrontierSize)))
+		}
 
 		// vt_start is the window's execution start on the virtual clock —
 		// `now` after any retry backoff, matching WindowTrace.Start. The
@@ -523,6 +562,15 @@ runLoop:
 			return nil, fmt.Errorf("stream: executing window at %v: %w", now, err)
 		}
 		ws.ExecSpan = exec.Makespan
+		// The window's executed objective vector — under frontier planning
+		// this is the selected point realised, under makespan planning the
+		// winner priced on the same axes.
+		ws.Objective = core.Objective{
+			Makespan:        exec.Makespan,
+			Throughput:      exec.Throughput(),
+			EnergyJoules:    exec.EnergyJoules,
+			PeakMemoryBytes: exec.PeakMemoryBytes,
+		}
 		mExecSeconds.ObserveDuration(exec.Makespan)
 		execAgg.fold(exec)
 
@@ -746,6 +794,9 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 			DPCells:         ws.DPCells,
 			Interrupted:     ws.Interrupted,
 			Handoffs:        ws.Handoffs,
+			EnergyJoules:    ws.Objective.EnergyJoules,
+			SLO:             ws.SLO.String(),
+			FrontierSize:    ws.FrontierSize,
 		})
 	}
 	return rep
@@ -757,20 +808,58 @@ func durMS(d time.Duration) float64 {
 }
 
 // planWindow plans one window's models, with or without Appendix-D
-// batching, and returns the schedule plus the group→request mapping.
-func (s *Scheduler) planWindow(ctx context.Context, models []*model.Model) (*pipeline.Schedule, []core.BatchGroup, error) {
+// batching, and returns the schedule plus the group→request mapping. Under
+// Config.Objective == core.ObjectiveFrontier the planner enumerates the
+// Pareto frontier and the window executes the point slo selects; the
+// returned size is the frontier's point count (0 under makespan planning).
+func (s *Scheduler) planWindow(ctx context.Context, models []*model.Model, slo core.SLOClass) (*pipeline.Schedule, []core.BatchGroup, int, error) {
+	if s.cfg.Objective == core.ObjectiveFrontier {
+		if s.cfg.MaxBatch > 1 {
+			f, groups, err := s.planner.PlanFrontierBatchedContext(ctx, models, s.cfg.MaxBatch)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			pt := f.Select(slo)
+			return pt.Plan.Schedule, core.OrderGroups(groups, pt.Plan.Order), f.Size(), nil
+		}
+		f, err := s.planner.PlanFrontierModelsContext(ctx, models)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		pt := f.Select(slo)
+		return pt.Plan.Schedule, identityGroups(models, pt.Plan.Order), f.Size(), nil
+	}
 	if s.cfg.MaxBatch > 1 {
 		plan, groups, err := s.planner.PlanBatchedContext(ctx, models, s.cfg.MaxBatch)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
-		return plan.Schedule, groups, nil
+		return plan.Schedule, groups, 0, nil
 	}
 	plan, err := s.planner.PlanModelsContext(ctx, models)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return plan.Schedule, identityGroups(models, plan.Order), nil
+	return plan.Schedule, identityGroups(models, plan.Order), 0, nil
+}
+
+// windowSLO resolves the class one window serves: the strictest class among
+// its member requests (core.StrictestSLO), the config default when every
+// member is unset, and latency-critical when that is unset too — so the
+// default frontier selection is byte-identical to makespan planning.
+func (s *Scheduler) windowSLO(requests []Request, window []int) core.SLOClass {
+	classes := make([]core.SLOClass, len(window))
+	for i, global := range window {
+		classes[i] = requests[global].SLO
+	}
+	slo := core.StrictestSLO(classes...)
+	if slo.Kind == core.SLOUnset {
+		slo = s.cfg.SLO
+	}
+	if slo.Kind == core.SLOUnset {
+		slo = core.SLOLatencyCritical
+	}
+	return slo
 }
 
 // identityGroups wraps unbatched requests as singleton groups following the

@@ -122,32 +122,36 @@ func WithFleet(n int) Option {
 	return optionFunc(func(c *config) { c.fleetSize = n })
 }
 
-// WithFleetPolicy selects the fleet's routing policy by name: "hash"
-// (consistent hashing, the default), "least-sojourn" (balance accumulated
-// latency estimates) or "affinity" (pin models to devices so recurring
-// windows hit the plan cache).
-func WithFleetPolicy(name string) Option {
-	return optionFunc(func(c *config) { c.fleetPolicy = name })
+// WithObjective selects the planning mode for Run, RunStream and RunFleet:
+// ObjectiveMakespan (the default) plans the min-makespan schedule,
+// ObjectiveFrontier enumerates the Pareto frontier over (makespan,
+// throughput, energy, peak memory) and executes the point selected by the
+// governing SLO class (WithSLOClass, or per-request StreamRequest.SLO).
+func WithObjective(m ObjectiveMode) Option {
+	return optionFunc(func(c *config) { c.stream.Objective = m })
 }
+
+// WithSLOClass sets the default SLO class for frontier planning
+// (WithObjective): the class applied to offline Run calls and to stream
+// requests that carry none. Requests with their own StreamRequest.SLO
+// override it per window via strictest-class resolution. Unset defaults to
+// SLOLatencyCritical, whose selected plans are byte-identical to makespan
+// planning.
+func WithSLOClass(class SLOClass) Option {
+	return optionFunc(func(c *config) { c.stream.SLO = class })
+}
+
+// PlannerOptions is the full planner configuration (an alias of
+// core.Options) for WithPlannerOptions. Most callers never need it — the
+// functional options cover the common knobs.
+type PlannerOptions = core.Options
+
+// DefaultPlannerOptions returns the full Hetero²Pipe planner configuration
+// — the same defaults NewSystem applies with no options.
+func DefaultPlannerOptions() PlannerOptions { return core.DefaultOptions() }
 
 // WithPlannerOptions replaces the full planner configuration — the escape
 // hatch for ablations (core.NoCTOptions) and custom estimators.
-func WithPlannerOptions(o Options) Option {
-	return optionFunc(func(c *config) { c.planner = core.Options(o) })
+func WithPlannerOptions(o PlannerOptions) Option {
+	return optionFunc(func(c *config) { c.planner = o })
 }
-
-// Options is the legacy all-in-one planner configuration struct. It
-// implements Option, so existing NewSystem(preset, DefaultOptions()) calls
-// keep working unchanged.
-//
-// Deprecated: prefer the functional options (WithParallelism,
-// WithWindow, ...); reach for WithPlannerOptions when the full struct is
-// genuinely needed.
-type Options core.Options
-
-func (o Options) apply(c *config) { c.planner = core.Options(o) }
-
-// DefaultOptions returns the full Hetero²Pipe planner configuration.
-//
-// Deprecated: NewSystem with no options applies the same defaults.
-func DefaultOptions() Options { return Options(core.DefaultOptions()) }
