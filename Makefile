@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs serve-test fleet api api-update bench bench-smoke bench-diff fuzz fuzz-degrade fuzz-fleet
+.PHONY: check build vet test race diff degrade obs serve-test fleet api api-update bench bench-smoke bench-diff bench-miss fuzz fuzz-degrade fuzz-fleet fuzz-beam
 
 ## check: the tier-1 gate — everything a PR must keep green.
 check: vet build race diff degrade obs serve-test fleet api bench-smoke
@@ -89,6 +89,12 @@ bench-diff:
 	$(eval NEW ?= $(shell ls BENCH_*.json | sort | tail -1))
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
+## bench-miss: the replan miss-path pair — incremental prefix-resumed
+## replanning vs from-scratch refills after a single-processor degradation.
+## The Incremental row's ns/op should sit well below the Full row's.
+bench-miss:
+	$(GO) test -run xxx -bench 'BenchmarkReplanMiss(Incremental|Full)' -benchmem -count=5 .
+
 ## fuzz: a short run of the parallel-vs-sequential differential fuzz target.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParallelPlannerDifferential -fuzztime 30s ./internal/core/
@@ -103,3 +109,9 @@ fuzz-degrade:
 ## the keys it owned.
 fuzz-fleet:
 	$(GO) test -run xxx -fuzz FuzzRouterShard -fuzztime 30s ./internal/fleet/
+
+## fuzz-beam: short fuzz of the beam sweep's regret bound — every fuzzed
+## (window, width, ε) must price within (1+ε)× of the exact sweep, and a
+## width covering all candidates must be byte-identical to it.
+fuzz-beam:
+	$(GO) test -run xxx -fuzz FuzzBeamRegret -fuzztime 30s ./internal/core/

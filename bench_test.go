@@ -415,6 +415,74 @@ func BenchmarkStreamChurnNoPlanCache(b *testing.B) {
 	benchStreamRun(b, 0, benchChurnEvents(b))
 }
 
+// benchReplanMiss drives the replan miss path: every iteration throttles the
+// last-capability processor (alternating factor so each apply is a real
+// state change), invalidates its cost tables, and replans the window. With
+// incremental replanning the partition DP resumes from the memoized prefix
+// rows below the affected stage; without it every table refills from
+// scratch. The Incremental/Full pair is the tentpole's headline saving —
+// compare their ns/op under `make bench-miss`.
+func benchReplanMiss(b *testing.B, incremental bool) {
+	s := soc.Kirin990()
+	opts := core.DefaultOptions()
+	opts.IncrementalReplan = incremental
+	pl, err := core.NewPlanner(s, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []*model.Model{
+		model.MustByName(model.YOLOv4), model.MustByName(model.SqueezeNet),
+		model.MustByName(model.BERT), model.MustByName(model.ResNet50),
+	}
+	if _, err := pl.PlanModels(models); err != nil { // fill the memo
+		b.Fatal(err)
+	}
+	last := s.Processors[len(s.Processors)-1].ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		factor := 1.5
+		if i%2 == 1 {
+			factor = 2.0
+		}
+		affected, err := s.Apply(soc.Event{Kind: soc.EventThermalThrottle, Processor: last, Factor: factor})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl.InvalidateProcessors(affected...)
+		if _, err := pl.PlanModels(models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplanMissIncremental(b *testing.B) { benchReplanMiss(b, true) }
+func BenchmarkReplanMissFull(b *testing.B)        { benchReplanMiss(b, false) }
+
+// BenchmarkPlannerBeamWidth2 prunes the six-model candidate sweep to a
+// two-wide beam (ε = 0.1) — compare against BenchmarkPlannerParallelism1 for
+// the pruning saving on large windows. The cost caches are invalidated each
+// iteration so the sweep itself, not the memo, is measured.
+func BenchmarkPlannerBeamWidth2(b *testing.B) {
+	s, profs := benchProfiles(b, model.YOLOv4, model.SqueezeNet, model.BERT,
+		model.ResNet50, model.VGG16, model.InceptionV4)
+	opts := core.DefaultOptions()
+	opts.Parallelism = 1
+	opts.BeamWidth = 2
+	opts.BeamEpsilon = 0.1
+	pl, err := core.NewPlanner(s, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.PlanProfiles(profs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPartitionParametric(b *testing.B) {
 	_, profs := benchProfiles(b, model.BERT)
 	b.ReportAllocs()

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/soc"
+)
+
+// FuzzBeamRegret fuzzes beam configurations over random zoo windows and
+// pins the two contracts of the pruned sweep:
+//
+//  1. Regret: the beam plan's executed makespan is within (1+ε)× of the
+//     exact sweep's, for every width and every ε — the unconditional bound
+//     the LB-escalation construction guarantees (no deadline armed).
+//  2. Identity: a beam width at or above the candidate count reproduces the
+//     exact plan byte for byte.
+func FuzzBeamRegret(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(0))
+	f.Add(int64(2), uint8(2), uint8(10))
+	f.Add(int64(42), uint8(3), uint8(25))
+	f.Add(int64(7), uint8(1), uint8(100))
+	f.Fuzz(func(t *testing.T, seed int64, widthRaw, epsRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		names := model.Names()
+		presets := soc.AllPresets()
+		size := 2 + rng.Intn(4) // 2..5 models
+		picked := make([]string, size)
+		models := make([]*model.Model, size)
+		for i := range picked {
+			picked[i] = names[rng.Intn(len(names))]
+			m, err := model.ByName(picked[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			models[i] = m
+		}
+		s := presets[int(seed%int64(len(presets))+int64(len(presets)))%len(presets)]
+		width := int(widthRaw%8) + 1     // 1..8
+		eps := float64(epsRaw%101) / 100 // 0..1
+
+		plan := func(w int, e float64) *Plan {
+			opts := DefaultOptions()
+			opts.BeamWidth = w
+			opts.BeamEpsilon = e
+			pl, err := NewPlanner(s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := pl.PlanModels(models)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		span := func(p *Plan) float64 {
+			res, err := pipeline.Execute(p.Schedule, pipeline.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Makespan.Seconds()
+		}
+
+		exact := plan(0, 0)
+		exactSpan := span(exact)
+		beam := plan(width, eps)
+		if got := span(beam); got > (1+eps)*exactSpan*(1+1e-12) {
+			t.Fatalf("window %v width %d eps %g: beam makespan %g breaks the (1+ε) bound vs exact %g",
+				picked, width, eps, got, exactSpan)
+		}
+		// Width ≥ the full candidate sweep (≤ 6 under DefaultOptions) must be
+		// byte-identical to exact, regardless of ε.
+		if wide := plan(8, eps); canonicalPlan(wide) != canonicalPlan(exact) {
+			t.Fatalf("window %v: width 8 plan differs from the exact sweep", picked)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hetero2pipe/internal/model"
+	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
+	"hetero2pipe/internal/soc"
+)
+
+// executedMakespan prices a plan under the planner's default execution
+// options — the same pricing the sweep itself optimises.
+func executedMakespan(t testing.TB, plan *Plan) float64 {
+	t.Helper()
+	res, err := pipeline.Execute(plan.Schedule, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Makespan.Seconds()
+}
+
+// beamPlan plans models with the given beam settings and returns the plan.
+func beamPlan(t testing.TB, s *soc.SoC, models []*model.Model, width int, eps float64, par int) *Plan {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.BeamWidth = width
+	opts.BeamEpsilon = eps
+	opts.Parallelism = par
+	pl, err := NewPlanner(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.PlanModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestBeamRegretBound prices seeded random windows with beam widths 1 and 2
+// under ε ∈ {0, 0.1} and requires every beam plan's executed makespan to be
+// within (1+ε)× of the exact sweep's — the unconditional regret guarantee
+// (the LB-escalation construction, see beam.go).
+func TestBeamRegretBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	names := model.Names()
+	presets := soc.AllPresets()
+	windows := 8
+	if testing.Short() {
+		windows = 3
+	}
+	for w := 0; w < windows; w++ {
+		size := 3 + rng.Intn(4) // 3..6
+		picked := make([]string, size)
+		for i := range picked {
+			picked[i] = names[rng.Intn(len(names))]
+		}
+		s := presets[w%len(presets)]
+		models := mustModels(t, picked...)
+		exact := beamPlan(t, s, models, 0, 0, 1)
+		exactSpan := executedMakespan(t, exact)
+		for _, width := range []int{1, 2} {
+			for _, eps := range []float64{0, 0.1} {
+				beam := beamPlan(t, s, models, width, eps, 1)
+				span := executedMakespan(t, beam)
+				// Tiny relative slack for float accumulation only; the bound
+				// itself is exact.
+				if span > (1+eps)*exactSpan*(1+1e-12) {
+					t.Errorf("window %d (%v) width %d eps %g: beam makespan %g > (1+ε)·exact %g",
+						w, picked, width, eps, span, (1+eps)*exactSpan)
+				}
+			}
+		}
+	}
+}
+
+// TestBeamUnboundedByteIdentical pins that a beam width at or above the
+// candidate count takes the exact sweep path and reproduces the exact plan
+// byte for byte — beam mode is strictly opt-in pruning, never a different
+// planner.
+func TestBeamUnboundedByteIdentical(t *testing.T) {
+	s := soc.Kirin990()
+	models := mustModels(t, model.YOLOv4, model.SqueezeNet, model.BERT, model.ResNet50)
+	exact := beamPlan(t, s, models, 0, 0, 1)
+	// DefaultOptions with mitigation yields 6 candidate orderings; any width
+	// ≥ 6 must fall through to the exact sweep.
+	for _, width := range []int{6, 7, 100} {
+		wide := beamPlan(t, s, models, width, 0.25, 1)
+		if canonicalPlan(wide) != canonicalPlan(exact) {
+			t.Errorf("width %d: plan differs from exact sweep", width)
+		}
+	}
+}
+
+// TestBeamDeterministicAcrossParallelism pins that the pruned sweep itself —
+// proxy pass, beam batch, escalation — is invisible to worker count, the
+// same merge discipline the exact sweep keeps.
+func TestBeamDeterministicAcrossParallelism(t *testing.T) {
+	s := soc.Snapdragon870()
+	models := mustModels(t, model.ResNet50, model.MobileNetV2, model.GoogLeNet, model.SqueezeNet)
+	want := canonicalPlan(beamPlan(t, s, models, 2, 0.05, 1))
+	for _, par := range []int{2, 4, 8} {
+		if got := canonicalPlan(beamPlan(t, s, models, 2, 0.05, par)); got != want {
+			t.Errorf("beam plan at parallelism %d differs from sequential", par)
+		}
+	}
+}
+
+// TestBeamLowerBoundAdmissible checks LB ≤ executed makespan on every preset
+// for a mixed window — the inequality the whole regret argument stands on.
+func TestBeamLowerBoundAdmissible(t *testing.T) {
+	models := mustModels(t, model.YOLOv4, model.SqueezeNet, model.BERT)
+	for _, s := range soc.AllPresets() {
+		pl, err := NewPlanner(s, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := pl.PlanModels(models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles := make([]*profile.Profile, len(models))
+		for i, m := range models {
+			if profiles[i], err = pl.Profile(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lb := beamLowerBound(profiles)
+		if span := executedMakespan(t, plan); lb > span*(1+1e-12) {
+			t.Errorf("%s: LB %g exceeds executed makespan %g", s.Name, lb, span)
+		}
+	}
+}
+
+// TestBeamAnytimeDeadline arms a deadline and checks the sweep still returns
+// a valid plan (the determinism trade is documented, not asserted).
+func TestBeamAnytimeDeadline(t *testing.T) {
+	s := soc.Kirin990()
+	models := mustModels(t, model.ResNet50, model.SqueezeNet, model.BERT)
+	opts := DefaultOptions()
+	opts.AnytimeDeadline = 50 * time.Millisecond
+	pl, err := NewPlanner(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.PlanModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || plan.Schedule == nil {
+		t.Fatal("deadline-armed sweep returned no plan")
+	}
+}
+
+// TestBeamOptionValidation rejects malformed beam configurations at
+// construction.
+func TestBeamOptionValidation(t *testing.T) {
+	s := soc.Kirin990()
+	bad := []Options{}
+	o1 := DefaultOptions()
+	o1.BeamWidth = -1
+	o2 := DefaultOptions()
+	o2.BeamEpsilon = -0.5
+	o3 := DefaultOptions()
+	o3.AnytimeDeadline = -time.Second
+	bad = append(bad, o1, o2, o3)
+	for i, o := range bad {
+		if _, err := NewPlanner(s, o); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}

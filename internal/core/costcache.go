@@ -219,6 +219,12 @@ func (pl *Planner) InvalidateCache() {
 	if pl.planCache != nil {
 		pl.planCache.invalidate()
 	}
+	if pl.partMemo != nil {
+		// The partition memo's rows were computed against the dropped tables;
+		// after an untracked SoC mutation its pointer-identity guard would
+		// correctly refuse them anyway, but reclaim the memory now.
+		pl.partMemo.invalidate()
+	}
 }
 
 // InvalidateProcessors drops only the named processors' memoized tables —

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,9 +121,13 @@ type Frontier struct {
 func newFrontier(plans []*Plan, objs []Objective) *Frontier {
 	var pts []FrontierPoint
 	for i, p := range plans {
+		if p == nil {
+			// A hole a beam sweep never priced; the exact sweep leaves none.
+			continue
+		}
 		dominated := false
 		for j := range plans {
-			if i == j {
+			if i == j || plans[j] == nil {
 				continue
 			}
 			if objs[j].Dominates(objs[i]) {
@@ -252,7 +257,9 @@ func ParseSLOClass(s string) (SLOClass, error) {
 		var w [4]float64
 		for i, p := range parts {
 			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil || v < 0 {
+			if err != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				// NaN fails neither err nor v < 0, and ±Inf parses cleanly;
+				// both would poison selectWeighted's scores, so reject here.
 				return SLOClass{}, fmt.Errorf("%w: bad custom weight %q", ErrUnknownSLOClass, p)
 			}
 			w[i] = v
@@ -362,19 +369,26 @@ func (f *Frontier) selectWeighted(w Weights) *FrontierPoint {
 			maxO.PeakMemoryBytes = o.PeakMemoryBytes
 		}
 	}
-	norm := func(v, lo, hi float64) float64 {
-		if hi <= lo {
+	// axis is one weighted normalised term of the score. A degenerate axis —
+	// every point tied, hi == lo — contributes nothing regardless of weight:
+	// deciding that BEFORE multiplying keeps a non-finite weight from
+	// turning the tie into 0 × Inf = NaN, which would poison every score and
+	// freeze selection on the first point (NaN compares false against
+	// everything). Non-finite weights are dropped outright for the same
+	// reason; ParseSLOClass rejects them, this guards programmatic callers.
+	axis := func(wt, v, lo, hi float64) float64 {
+		if wt == 0 || math.IsNaN(wt) || math.IsInf(wt, 0) || hi <= lo {
 			return 0
 		}
-		return (v - lo) / (hi - lo)
+		return wt * (v - lo) / (hi - lo)
 	}
 	best, bestScore := 0, 0.0
 	for i := range f.Points {
 		o := f.Points[i].Objective
-		score := w.Makespan*norm(float64(o.Makespan), float64(minO.Makespan), float64(maxO.Makespan)) +
-			w.Throughput*norm(maxO.Throughput-o.Throughput+minO.Throughput, minO.Throughput, maxO.Throughput) +
-			w.Energy*norm(o.EnergyJoules, minO.EnergyJoules, maxO.EnergyJoules) +
-			w.Memory*norm(float64(o.PeakMemoryBytes), float64(minO.PeakMemoryBytes), float64(maxO.PeakMemoryBytes))
+		score := axis(w.Makespan, float64(o.Makespan), float64(minO.Makespan), float64(maxO.Makespan)) +
+			axis(w.Throughput, maxO.Throughput-o.Throughput+minO.Throughput, minO.Throughput, maxO.Throughput) +
+			axis(w.Energy, o.EnergyJoules, minO.EnergyJoules, maxO.EnergyJoules) +
+			axis(w.Memory, float64(o.PeakMemoryBytes), float64(minO.PeakMemoryBytes), float64(maxO.PeakMemoryBytes))
 		if i == 0 || score < bestScore {
 			best, bestScore = i, score
 		}

@@ -15,6 +15,7 @@ import (
 	"hetero2pipe/internal/model"
 	"hetero2pipe/internal/obs"
 	"hetero2pipe/internal/pipeline"
+	"hetero2pipe/internal/profile"
 )
 
 // Whole-plan memoization. The cost-table cache removes the measurement cost
@@ -118,9 +119,14 @@ func optionsFingerprint(o Options) string {
 		// InvalidateCache call).
 		est = fmt.Sprintf("%p", o.Estimator)
 	}
-	return fmt.Sprintf("q=%g;mit=%t;ws=%t;tail=%t;cont=%t;mem=%t;smem=%t;est=%s",
+	// Beam fields steer which candidates get priced, and so the plan bytes;
+	// IncrementalReplan is deliberately absent — the memoized DP is proven
+	// byte-identical to the from-scratch refill, so both settings produce
+	// (and may share) the same cached plans.
+	return fmt.Sprintf("q=%g;mit=%t;ws=%t;tail=%t;cont=%t;mem=%t;smem=%t;est=%s;bw=%d;beps=%g;dl=%s",
 		o.HighQuantile, o.Mitigation, o.WorkStealing, o.TailOptimization,
-		o.ExecOptions.Contention, o.ExecOptions.EnforceMemory, o.ExecOptions.SampleMemory, est)
+		o.ExecOptions.Contention, o.ExecOptions.EnforceMemory, o.ExecOptions.SampleMemory, est,
+		o.BeamWidth, o.BeamEpsilon, o.AnytimeDeadline)
 }
 
 // planEntry is one memoized value — a single plan or a whole frontier,
@@ -300,6 +306,13 @@ func deepCopyPlan(p *Plan) *Plan {
 	}
 	if p.Schedule != nil {
 		out.Schedule = p.Schedule.Clone()
+		// Clone shares the Profiles slice header (the profiles themselves are
+		// immutable, but the slice is not): give the copy its own backing
+		// array so a caller appending to or reordering a hit's Profiles —
+		// e.g. through a selected FrontierPoint — cannot reach the cached
+		// entry. Deliberately here and not in Schedule.Clone, which sits on
+		// the tail-search hot path where the extra allocation would cost.
+		out.Schedule.Profiles = append([]*profile.Profile(nil), p.Schedule.Profiles...)
 	}
 	if p.Cuts != nil {
 		out.Cuts = make([]pipeline.Cuts, len(p.Cuts))

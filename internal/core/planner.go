@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -57,10 +58,49 @@ type Options struct {
 	// plan is byte-identical at every value (proven by the differential
 	// suite; see DESIGN.md §6).
 	Parallelism int
+	// IncrementalReplan, when true (the default via DefaultOptions), keeps a
+	// per-model memo of the Algorithm-1 DP state — every per-stage S* row,
+	// the choice tables and the backtracked cuts — and, after a degradation
+	// event touching processor set P, resumes each model's DP from
+	// stage min(P) instead of refilling the whole table: stage k's row reads
+	// only the cost tables of processors ≤ k and the previous row, so rows
+	// below the first affected processor are bit-identical and are reused
+	// verbatim (see DESIGN.md §14). Bus-only epochs (bandwidth squeezes)
+	// reuse entire partitions — solo tables are bus-independent. The output
+	// is byte-identical to a from-scratch replan at every event sequence
+	// (pinned by the differential suite), so the flag is deliberately absent
+	// from the plan-cache options fingerprint.
+	IncrementalReplan bool
+	// BeamWidth, when positive and below the candidate-ordering count, prunes
+	// the candidate sweep: every candidate is first priced by a cheap proxy
+	// (its DP-cut schedule executed as-is, no stealing or tail search), only
+	// the BeamWidth best-proxy candidates run the full vertical pass, and the
+	// sweep then escalates through the remaining candidates in proxy order
+	// until the best executed makespan is within (1+BeamEpsilon) of the
+	// window's makespan lower bound. Because the lower bound is also a lower
+	// bound on the exact planner's makespan, the returned plan is provably
+	// within (1+BeamEpsilon)× of exact — unconditionally (see DESIGN.md §14).
+	// Zero (and any width ≥ the candidate count, absent a deadline) falls
+	// through to the exact sweep, byte-identically.
+	BeamWidth int
+	// BeamEpsilon is the beam's relative regret bound ε ≥ 0: escalation
+	// stops once best ≤ (1+ε)·lower-bound. 0 keeps escalating until the
+	// bound is met exactly or every candidate is priced — still cheaper than
+	// the exact sweep whenever the bound closes early, and identical in
+	// result quality otherwise.
+	BeamEpsilon float64
+	// AnytimeDeadline, when positive, bounds the beam sweep's wall-clock
+	// time: after the first BeamWidth candidates (at least one), escalation
+	// stops when the deadline has elapsed, whatever the regret bound says.
+	// The deadline trades the determinism invariant for latency — two runs
+	// under load may prune at different points — so it is off by default and
+	// excluded from the differential suite's byte-identity claims.
+	AnytimeDeadline time.Duration
 	// Metrics, when set, receives planner observability: plan wall-time
 	// (planner_plan_seconds), plans completed (planner_plans_total), DP
 	// cells evaluated (planner_dp_cells_total), cost-cache traffic
-	// (planner_cache_{hits,misses}_total) and — when PlanCache is enabled —
+	// (planner_cache_{hits,misses}_total), incremental partition reuse
+	// (planner_incremental_reuse_total) and — when PlanCache is enabled —
 	// whole-plan cache traffic (planner_plan_cache_{hits,misses}_total).
 	// Nil disables the registry writes
 	// at negligible cost; the Planner-level counters (CacheStats, DPCells)
@@ -77,12 +117,13 @@ type Options struct {
 // DefaultOptions returns the full Hetero²Pipe configuration.
 func DefaultOptions() Options {
 	return Options{
-		HighQuantile:     0.5,
-		Mitigation:       true,
-		WorkStealing:     true,
-		TailOptimization: true,
-		ExecOptions:      pipeline.DefaultOptions(),
-		Parallelism:      runtime.GOMAXPROCS(0),
+		HighQuantile:      0.5,
+		Mitigation:        true,
+		WorkStealing:      true,
+		TailOptimization:  true,
+		IncrementalReplan: true,
+		ExecOptions:       pipeline.DefaultOptions(),
+		Parallelism:       runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -108,9 +149,18 @@ type Planner struct {
 	// construction.
 	planCache *planCache
 	optsFP    string
+	// partMemo memoizes per-model Algorithm-1 DP state for incremental
+	// replanning; nil when Options.IncrementalReplan is off. lapMemo
+	// memoizes Algorithm-2 assignments by class-vector content (a pure
+	// function of its inputs, so it never invalidates).
+	partMemo *partitionMemo
+	lapMemo  *mitigationMemo
 
 	// dpCells accumulates DP cells evaluated across the planner's lifetime.
 	dpCells atomic.Uint64
+	// incrReuse counts partitions that reused memoized DP state — fully
+	// skipped or resumed mid-table — across the planner's lifetime.
+	incrReuse atomic.Uint64
 	// Registry handles, resolved once at construction (detached no-op
 	// instruments when Options.Metrics is nil).
 	mPlans        *obs.Counter
@@ -118,6 +168,7 @@ type Planner struct {
 	mPlanSeconds  *obs.Histogram
 	mFrontiers    *obs.Counter
 	mFrontierSize *obs.Histogram
+	mIncrReuse    *obs.Counter
 }
 
 // frontierSizeBuckets bound the planner_frontier_size histogram: the
@@ -135,6 +186,15 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 	if opts.HighQuantile < 0 || opts.HighQuantile > 1 {
 		return nil, fmt.Errorf("core: high quantile %g outside [0,1]", opts.HighQuantile)
 	}
+	if opts.BeamWidth < 0 {
+		return nil, fmt.Errorf("core: beam width %d negative", opts.BeamWidth)
+	}
+	if opts.BeamEpsilon < 0 || math.IsNaN(opts.BeamEpsilon) || math.IsInf(opts.BeamEpsilon, 0) {
+		return nil, fmt.Errorf("core: beam epsilon %g not a finite non-negative value", opts.BeamEpsilon)
+	}
+	if opts.AnytimeDeadline < 0 {
+		return nil, fmt.Errorf("core: anytime deadline %v negative", opts.AnytimeDeadline)
+	}
 	reg := opts.Metrics
 	pl := &Planner{
 		soc:           s,
@@ -145,10 +205,15 @@ func NewPlanner(s *soc.SoC, opts Options) (*Planner, error) {
 		mPlanSeconds:  reg.Histogram("planner_plan_seconds", obs.LatencyBuckets()),
 		mFrontiers:    reg.Counter("planner_frontiers_total"),
 		mFrontierSize: reg.Histogram("planner_frontier_size", frontierSizeBuckets()),
+		mIncrReuse:    reg.Counter("planner_incremental_reuse_total"),
 	}
 	if opts.PlanCache > 0 {
 		pl.planCache = newPlanCache(opts.PlanCache, reg)
 		pl.optsFP = optionsFingerprint(opts)
+	}
+	if opts.IncrementalReplan {
+		pl.partMemo = newPartitionMemo()
+		pl.lapMemo = newMitigationMemo()
 	}
 	return pl, nil
 }
@@ -444,10 +509,14 @@ func (pl *Planner) planProfiles(ctx context.Context, profiles []*profile.Profile
 	// The first candidate achieving the minimal executed makespan wins,
 	// exactly as the sequential strict-improvement loop decides. The
 	// comparison is in float seconds, preserving the pre-frontier planner's
-	// tie semantics bit for bit.
+	// tie semantics bit for bit. Nil holes are candidates a beam sweep
+	// pruned (the exact sweep leaves none).
 	var bestPlan *Plan
 	var bestSpan float64
 	for ci, plan := range plans {
+		if plan == nil {
+			continue
+		}
 		if span := objs[ci].Makespan.Seconds(); bestPlan == nil || span < bestSpan {
 			bestPlan, bestSpan = plan, span
 		}
@@ -471,7 +540,14 @@ func (pl *Planner) planCandidates(ctx context.Context, profiles []*profile.Profi
 	cuts := make([]pipeline.Cuts, m)
 	makespans := make([]float64, m)
 	err := parallel.ForErr(pl.workers(), m, func(i int) error {
-		c, best, err := pl.partition(ctx, profiles[i])
+		var c pipeline.Cuts
+		var best float64
+		var err error
+		if pl.partMemo != nil {
+			c, best, err = pl.partitionMemoized(ctx, profiles[i])
+		} else {
+			c, best, err = pl.partition(ctx, profiles[i])
+		}
 		if err != nil {
 			return fmt.Errorf("core: partitioning %s: %w", profiles[i].Model().Name, err)
 		}
@@ -505,9 +581,15 @@ func (pl *Planner) planCandidates(ctx context.Context, profiles []*profile.Profi
 	if pl.opts.Mitigation {
 		base := len(candidates)
 		for _, cand := range candidates[:base] {
-			mitigated := Mitigate(permuteClasses(classes, cand), k)
+			mitigated := pl.mitigate(permuteClasses(classes, cand), k)
 			candidates = append(candidates, composeOrders(cand, mitigated))
 		}
+	}
+
+	// Beam/anytime mode prunes the sweep with the provable regret bound
+	// (see beam.go); the exact sweep below prices every candidate.
+	if pl.beamActive(len(candidates)) {
+		return pl.beamCandidates(ctx, profiles, cuts, classes, intensities, makespans, candidates, k)
 	}
 
 	// Every candidate's vertical pass is independent (each works on its own

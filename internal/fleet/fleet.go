@@ -247,6 +247,10 @@ func (f *Fleet) RunContext(ctx context.Context, requests []stream.Request, execO
 			}
 			completed[fi] = true
 			done++
+			// Release the routing credit: merge runs in the single main
+			// goroutine, and each Settle touches only this device's load, so
+			// policy state stays deterministic across map iteration orders.
+			f.policy.Settle(requests[fi].Model, dev, f.devices)
 		}
 		if r.Makespan > busy[dev] {
 			busy[dev] = r.Makespan

@@ -26,10 +26,19 @@ const (
 // currently live device indices (sorted ascending, never empty) and must
 // return one of them. Routing a request to exactly one live device is the
 // invariant FuzzRouterShard pins.
+//
+// Settle reports one request's completion on a device, so load-tracking
+// policies release the sojourn credit Route charged — without it a
+// least-loaded router's estimates only ever grow, and every completed
+// window keeps repelling new work from the device that just drained it.
+// Stateless policies ignore Settle. The fleet calls it once per completed
+// request, from the merge step (single goroutine), before any failover
+// round re-routes.
 type Policy interface {
 	Name() string
 	Reset(devices []*Device)
 	Route(m *model.Model, seq int, live []int, devices []*Device) int
+	Settle(m *model.Model, dev int, devices []*Device)
 }
 
 // PolicyByName returns a fresh policy instance for a CLI/facade name.
@@ -151,6 +160,9 @@ func (p *hashPolicy) Route(m *model.Model, seq int, live []int, devices []*Devic
 	return live[0]
 }
 
+// Settle is a no-op: hashing keeps no load state.
+func (p *hashPolicy) Settle(m *model.Model, dev int, devices []*Device) {}
+
 // leastSojournPolicy routes each request to the device with the smallest
 // accumulated latency estimate, where one request's estimate is its solo
 // batch-1 latency on the device's best currently-available processor — a
@@ -180,6 +192,25 @@ func (p *leastSojournPolicy) Route(m *model.Model, seq int, live []int, devices 
 	}
 	p.load[best] += p.estimate(best, devices[best], m)
 	return best
+}
+
+// Settle releases the sojourn credit Route charged for a now-completed
+// request, floored at zero. Without it load only accumulates, so after the
+// primary shards drain, every failover (and any later) Route decision still
+// sees the devices' lifetime totals and herds all new work onto whichever
+// device was assigned least — typically a device that just came online —
+// instead of balancing across the drained fleet. The floor also absorbs
+// estimate drift: a degradation event between Route and Settle changes the
+// epoch-keyed estimate, and under-crediting must not drive load negative.
+func (p *leastSojournPolicy) Settle(m *model.Model, dev int, devices []*Device) {
+	if dev < 0 || dev >= len(p.load) {
+		return
+	}
+	if est := p.estimate(dev, devices[dev], m); est < p.load[dev] {
+		p.load[dev] -= est
+	} else {
+		p.load[dev] = 0
+	}
 }
 
 func (p *leastSojournPolicy) estimate(dev int, d *Device, m *model.Model) time.Duration {
@@ -242,6 +273,9 @@ func (p *affinityPolicy) Route(m *model.Model, seq int, live []int, devices []*D
 	p.sticky[m.Name] = dev
 	return dev
 }
+
+// Settle is a no-op: affinity tracks assignments, not load.
+func (p *affinityPolicy) Settle(m *model.Model, dev int, devices []*Device) {}
 
 // deviceRingName names a device on the ring (index-derived fallback for
 // unnamed devices, so rings are well-defined in tests).

@@ -38,6 +38,10 @@ type PlannerReport struct {
 	PlanCacheHits     uint64  `json:"plan_cache_hits"`
 	PlanCacheMisses   uint64  `json:"plan_cache_misses"`
 	PlanCacheHitRatio float64 `json:"plan_cache_hit_ratio"`
+	// IncrementalReuse counts partition DPs served from the incremental
+	// replanning memo — fully reused or resumed mid-table (zero when
+	// incremental replanning is off).
+	IncrementalReuse uint64 `json:"incremental_reuse,omitempty"`
 }
 
 // ExecutorReport aggregates execution-side observability across every window
@@ -87,7 +91,10 @@ type WindowReport struct {
 	PlanCacheHits   uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses uint64 `json:"plan_cache_misses"`
 	DPCells         uint64 `json:"dp_cells"`
-	Interrupted     bool   `json:"interrupted"`
+	// IncrementalReuse is the window's partition-memo reuse count (see
+	// PlannerReport.IncrementalReuse).
+	IncrementalReuse uint64 `json:"incremental_reuse,omitempty"`
+	Interrupted      bool   `json:"interrupted"`
 	// Handoffs counts the requests completed in this window that arrived
 	// via fleet failover from another device.
 	Handoffs int `json:"handoffs,omitempty"`

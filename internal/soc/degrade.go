@@ -199,6 +199,7 @@ func (s *SoC) Apply(ev Event) ([]int, error) {
 		}
 		s.BusDerate = ev.Factor
 		s.epoch++
+		s.recordDelta(epochDelta{bus: true})
 		return nil, nil
 	}
 	idx := -1
@@ -235,6 +236,7 @@ func (s *SoC) Apply(ev Event) ([]int, error) {
 		p.Degrade.Offline = false
 	}
 	s.epoch++
+	s.recordDelta(epochDelta{procs: []int{idx}})
 	return []int{idx}, nil
 }
 

@@ -1,0 +1,114 @@
+package soc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDegradationEpochJournal pins the AffectedSince contract the planner's
+// incremental-replanning memo builds on: the journal must map an epoch delta
+// to exactly the processors degradation events touched, flag bus-only
+// deltas, and answer "unknown" for wildcard bumps or evicted history.
+func TestDegradationEpochJournal(t *testing.T) {
+	s := Kirin990()
+	base := s.Epoch()
+
+	// Same epoch: nothing changed.
+	if procs, bus, ok := s.AffectedSince(base); !ok || bus || len(procs) != 0 {
+		t.Fatalf("AffectedSince(current) = (%v, %v, %v), want (nil, false, true)", procs, bus, ok)
+	}
+	// A future epoch is unanswerable.
+	if _, _, ok := s.AffectedSince(base + 5); ok {
+		t.Fatal("AffectedSince(future epoch) reported ok")
+	}
+
+	idx := func(id string) int {
+		for i := range s.Processors {
+			if s.Processors[i].ID == id {
+				return i
+			}
+		}
+		t.Fatalf("no processor %q", id)
+		return -1
+	}
+	apply := func(ev Event) {
+		t.Helper()
+		if _, err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two processor events + a repeat on the first: the union is two
+	// distinct indices, sorted ascending.
+	apply(Event{Kind: EventThermalThrottle, Processor: "gpu", Factor: 1.5})
+	apply(Event{Kind: EventProcessorOffline, Processor: "npu"})
+	apply(Event{Kind: EventThermalThrottle, Processor: "gpu", Factor: 2})
+	want := []int{idx("gpu"), idx("npu")}
+	if want[0] > want[1] {
+		want[0], want[1] = want[1], want[0]
+	}
+	procs, bus, ok := s.AffectedSince(base)
+	if !ok || bus || !reflect.DeepEqual(procs, want) {
+		t.Fatalf("AffectedSince after proc events = (%v, %v, %v), want (%v, false, true)", procs, bus, ok, want)
+	}
+
+	// A bus squeeze is flagged separately and names no processor.
+	mid := s.Epoch()
+	apply(Event{Kind: EventBandwidthSqueeze, Factor: 0.5})
+	if procs, bus, ok = s.AffectedSince(mid); !ok || !bus || len(procs) != 0 {
+		t.Fatalf("AffectedSince over bus squeeze = (%v, %v, %v), want (nil, true, true)", procs, bus, ok)
+	}
+	// Composite delta: earlier proc events plus the squeeze.
+	if procs, bus, ok = s.AffectedSince(base); !ok || !bus || !reflect.DeepEqual(procs, want) {
+		t.Fatalf("composite AffectedSince = (%v, %v, %v), want (%v, true, true)", procs, bus, ok, want)
+	}
+
+	// No-op events must not advance the epoch or grow the journal.
+	before := s.Epoch()
+	apply(Event{Kind: EventBandwidthSqueeze, Factor: 0.5})
+	apply(Event{Kind: EventThermalThrottle, Processor: "gpu", Factor: 2})
+	if s.Epoch() != before {
+		t.Fatalf("no-op events moved the epoch %d → %d", before, s.Epoch())
+	}
+
+	// A manual BumpEpoch is a wildcard: every span crossing it is unknown.
+	wild := s.Epoch()
+	s.BumpEpoch()
+	if _, _, ok := s.AffectedSince(wild); ok {
+		t.Fatal("AffectedSince across BumpEpoch reported ok; wildcard deltas must be unknown")
+	}
+	// Spans entirely after the wildcard answer normally again.
+	after := s.Epoch()
+	apply(Event{Kind: EventProcessorOnline, Processor: "npu"})
+	if procs, bus, ok = s.AffectedSince(after); !ok || bus || !reflect.DeepEqual(procs, []int{idx("npu")}) {
+		t.Fatalf("AffectedSince after wildcard = (%v, %v, %v), want ([%d], false, true)", procs, bus, ok, idx("npu"))
+	}
+}
+
+// TestDegradationEpochJournalEviction overflows the bounded journal and
+// requires spans reaching past the evicted history to answer "unknown"
+// while recent spans still resolve.
+func TestDegradationEpochJournalEviction(t *testing.T) {
+	s := Kirin990()
+	old := s.Epoch()
+	// Alternate two distinct throttle factors so every event is a state
+	// change; run well past the cap.
+	for i := 0; i < epochJournalCap+16; i++ {
+		factor := 1.5
+		if i%2 == 1 {
+			factor = 2.5
+		}
+		if _, err := s.Apply(Event{Kind: EventThermalThrottle, Processor: "gpu", Factor: factor, At: time.Duration(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := s.AffectedSince(old); ok {
+		t.Fatal("AffectedSince over evicted history reported ok")
+	}
+	recent := s.Epoch() - 4
+	procs, bus, ok := s.AffectedSince(recent)
+	if !ok || bus || len(procs) != 1 {
+		t.Fatalf("AffectedSince over recent span = (%v, %v, %v), want one processor", procs, bus, ok)
+	}
+}

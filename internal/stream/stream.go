@@ -151,6 +151,10 @@ type WindowStat struct {
 	// planner's lifetime counters (skewed only if another goroutine shares
 	// the planner mid-run).
 	CacheHits, CacheMisses, DPCells uint64
+	// IncrementalReuse is this window's delta of the planner's
+	// incremental-replanning memo counter: partition DPs served fully reused
+	// or resumed mid-table (zero when core.Options.IncrementalReplan is off).
+	IncrementalReuse uint64
 	// PlanCacheHits and PlanCacheMisses are this window's deltas of the
 	// planner's whole-plan cache counters (core.Options.PlanCache); both
 	// zero when the plan cache is disabled. A steady-state window is one
@@ -212,6 +216,10 @@ type Result struct {
 	// core.Options.PlanCache is disabled): a hit is a window served a
 	// memoized plan with no partition/mitigation/steal/tail work at all.
 	PlanCacheHits, PlanCacheMisses uint64
+	// IncrementalReuse counts partition DPs this run served from the
+	// incremental-replanning memo — fully reused or resumed mid-table after
+	// a degradation event (zero when core.Options.IncrementalReplan is off).
+	IncrementalReuse uint64
 	// Replans counts windows interrupted by a degradation event and
 	// replanned on the degraded SoC.
 	Replans int
@@ -396,6 +404,7 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 
 	hits0, misses0 := s.planner.CacheStats()
 	planHits0, planMisses0 := s.planner.PlanCacheStats()
+	reuse0 := s.planner.IncrementalReuse()
 	var execAgg execAggregate
 	now := time.Duration(0)
 	next := 0       // next unadmitted arrival
@@ -469,6 +478,7 @@ runLoop:
 		hitsW, missesW := s.planner.CacheStats()
 		planHitsW, planMissesW := s.planner.PlanCacheStats()
 		cellsW := s.planner.DPCells()
+		reuseW := s.planner.IncrementalReuse()
 		planStart := time.Now()
 		var sched *pipeline.Schedule
 		var groups []core.BatchGroup
@@ -539,6 +549,7 @@ runLoop:
 		planHitsW2, planMissesW2 := s.planner.PlanCacheStats()
 		ws.PlanCacheHits, ws.PlanCacheMisses = planHitsW2-planHitsW, planMissesW2-planMissesW
 		ws.DPCells = s.planner.DPCells() - cellsW
+		ws.IncrementalReuse = s.planner.IncrementalReuse() - reuseW
 		ws.Requests = take
 		if s.cfg.Objective == core.ObjectiveFrontier {
 			ws.SLO = winSLO
@@ -667,6 +678,7 @@ runLoop:
 	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
 	planHits1, planMisses1 := s.planner.PlanCacheStats()
 	res.PlanCacheHits, res.PlanCacheMisses = planHits1-planHits0, planMisses1-planMisses0
+	res.IncrementalReuse = s.planner.IncrementalReuse() - reuse0
 	res.Report = s.buildReport(res, n, &execAgg)
 	return res, nil
 }
@@ -741,10 +753,11 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 		P95SojournMS:  durMS(res.P95Sojourn()),
 		P99SojournMS:  durMS(res.SojournQuantile(99)),
 		Planner: obs.PlannerReport{
-			CacheHits:       res.CacheHits,
-			CacheMisses:     res.CacheMisses,
-			PlanCacheHits:   res.PlanCacheHits,
-			PlanCacheMisses: res.PlanCacheMisses,
+			CacheHits:        res.CacheHits,
+			CacheMisses:      res.CacheMisses,
+			PlanCacheHits:    res.PlanCacheHits,
+			PlanCacheMisses:  res.PlanCacheMisses,
+			IncrementalReuse: res.IncrementalReuse,
 		},
 		Executor: obs.ExecutorReport{
 			Slices:          agg.slices,
@@ -778,25 +791,26 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 		rep.Planner.PlanWallMS += durMS(ws.PlanWall)
 		rep.Planner.DPCells += ws.DPCells
 		rep.Windows = append(rep.Windows, obs.WindowReport{
-			Index:           i,
-			StartMS:         durMS(ws.Start),
-			EndMS:           durMS(ws.End),
-			PlanWallMS:      durMS(ws.PlanWall),
-			ExecMS:          durMS(ws.ExecSpan),
-			Requests:        ws.Requests,
-			Completed:       ws.Completed,
-			Requeued:        ws.Requeued,
-			PlanRetries:     ws.PlanRetries,
-			CacheHits:       ws.CacheHits,
-			CacheMisses:     ws.CacheMisses,
-			PlanCacheHits:   ws.PlanCacheHits,
-			PlanCacheMisses: ws.PlanCacheMisses,
-			DPCells:         ws.DPCells,
-			Interrupted:     ws.Interrupted,
-			Handoffs:        ws.Handoffs,
-			EnergyJoules:    ws.Objective.EnergyJoules,
-			SLO:             ws.SLO.String(),
-			FrontierSize:    ws.FrontierSize,
+			Index:            i,
+			StartMS:          durMS(ws.Start),
+			EndMS:            durMS(ws.End),
+			PlanWallMS:       durMS(ws.PlanWall),
+			ExecMS:           durMS(ws.ExecSpan),
+			Requests:         ws.Requests,
+			Completed:        ws.Completed,
+			Requeued:         ws.Requeued,
+			PlanRetries:      ws.PlanRetries,
+			CacheHits:        ws.CacheHits,
+			CacheMisses:      ws.CacheMisses,
+			PlanCacheHits:    ws.PlanCacheHits,
+			PlanCacheMisses:  ws.PlanCacheMisses,
+			DPCells:          ws.DPCells,
+			IncrementalReuse: ws.IncrementalReuse,
+			Interrupted:      ws.Interrupted,
+			Handoffs:         ws.Handoffs,
+			EnergyJoules:     ws.Objective.EnergyJoules,
+			SLO:              ws.SLO.String(),
+			FrontierSize:     ws.FrontierSize,
 		})
 	}
 	return rep

@@ -2,6 +2,7 @@ package hetero2pipe
 
 import (
 	"log/slog"
+	"time"
 
 	"hetero2pipe/internal/core"
 	"hetero2pipe/internal/obs"
@@ -139,6 +140,38 @@ func WithObjective(m ObjectiveMode) Option {
 // planning.
 func WithSLOClass(class SLOClass) Option {
 	return optionFunc(func(c *config) { c.stream.SLO = class })
+}
+
+// WithIncrementalReplan toggles incremental replanning after degradation
+// events (on by default). When on, the planner memoizes each model's
+// partition-DP table and, after an event touching processor set P, resumes
+// the DP at the first affected stage instead of refilling from row zero —
+// byte-identical to planning from scratch (the differential suite pins it),
+// so this is purely a replan-latency knob. Off drops the memo entirely.
+func WithIncrementalReplan(on bool) Option {
+	return optionFunc(func(c *config) { c.planner.IncrementalReplan = on })
+}
+
+// WithBeam bounds the planner's candidate sweep to the width best candidates
+// under a cheap proxy pricing, then escalates until the winner is provably
+// within (1+epsilon)× of the exact sweep's makespan — the anytime/beam mode
+// for large windows. width ≥ the candidate count (or ≤ 0) reproduces the
+// exact plan byte-identically; epsilon 0 escalates until the bound closes
+// exactly or the sweep exhausts.
+func WithBeam(width int, epsilon float64) Option {
+	return optionFunc(func(c *config) {
+		c.planner.BeamWidth = width
+		c.planner.BeamEpsilon = epsilon
+	})
+}
+
+// WithPlanDeadline arms a wall-clock budget on each window's candidate
+// sweep: once it elapses, the sweep stops escalating and returns the best
+// plan priced so far. The deadline voids both byte-identical determinism and
+// the beam regret bound — it is the latency-first trade for interactive
+// deployments. d ≤ 0 disarms (the default).
+func WithPlanDeadline(d time.Duration) Option {
+	return optionFunc(func(c *config) { c.planner.AnytimeDeadline = d })
 }
 
 // PlannerOptions is the full planner configuration (an alias of
