@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs serve-test fleet api api-update bench bench-smoke bench-diff bench-miss fuzz fuzz-degrade fuzz-fleet fuzz-beam
+.PHONY: check build vet test race diff degrade obs serve-test fleet reqtrace api api-update bench bench-smoke bench-diff bench-miss fuzz fuzz-degrade fuzz-fleet fuzz-beam
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade obs serve-test fleet api bench-smoke
+check: vet build race diff degrade obs serve-test fleet reqtrace api bench-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,16 @@ serve-test:
 fleet:
 	$(GO) test -race -count=1 -run 'TestFleet|TestDifferentialFleet|TestPolicy|TestAffinity|TestLeastSojourn|TestDeviceSeed|TestDeviceRun|TestStreamHalt|TestStreamHandoff|TestPlanCacheHasCachedPlan|TestObsWithLabels|TestObsPrometheusLabeled|TestRunFleet' \
 		./internal/fleet/ ./internal/stream/ ./internal/obs/ ./internal/core/ ./cmd/h2pipe/ .
+
+## reqtrace: the request-tracing suite under the race detector — trace-ID
+## scheme and flight-recorder store, the sojourn-decomposition sum invariant
+## across interrupt/requeue/backoff/halt/handoff paths, trace survival
+## through fleet failover stitching, SLO error-budget burn rates against the
+## labeled deadline-miss counters, histogram exemplars, and the /requests
+## and /slo endpoints across the internal server and the library facade.
+reqtrace:
+	$(GO) test -race -count=1 -run 'RequestTrace|SLOBudget|Decomp' \
+		./internal/stream/ ./internal/fleet/ ./internal/obs/ .
 
 ## api: the public-API gate — regenerate the facade's exported surface and
 ## diff it against the committed api.txt baseline. Fails on any unreviewed

@@ -85,6 +85,8 @@ func run(ctx context.Context, args []string) error {
 		serveAddr  = fs.String("serve", "", "serve live observability HTTP (/metrics, /vars, /debug/pprof, /healthz, /readyz, /windows, /spans) on this address; keeps serving after the run until Ctrl-C")
 		logLevel   = fs.String("log-level", "", "structured logging to stderr at this level: debug, info, warn or error (empty disables)")
 		spansOut   = fs.String("spans", "", "record a span trace of the run and write it as OTLP JSON to this file")
+		reqTrace   = fs.String("request-trace", "", "arm per-request distributed tracing and write the request timelines (phase events + sojourn decomposition) as JSON to this file; also serves /requests under -serve")
+		sloBudget  = fs.String("slo-budget", "", "SLO error budgets class=target, comma-separated (e.g. latency-critical=0.01,balanced=0.05); prints per-class burn rates after the run and serves /slo under -serve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +163,18 @@ func run(ctx context.Context, args []string) error {
 		ctx = obs.ContextWithRecorder(ctx, rec)
 	}
 	feed := stream.NewFeed(0)
+	var traces *stream.TraceStore
+	if *reqTrace != "" {
+		traces = stream.NewTraceStore(0, 0)
+	}
+	budgets, err := parseSLOBudgets(*sloBudget)
+	if err != nil {
+		return err
+	}
+	var sloMon *obs.SLOMonitor
+	if len(budgets) > 0 {
+		sloMon = obs.NewSLOMonitor(0, budgets)
+	}
 
 	// Fleet mode builds its devices (and their feeds) before the server so
 	// the /fleet endpoint and device-0 feed can be wired in.
@@ -174,6 +188,9 @@ func run(ctx context.Context, args []string) error {
 		scfg.Events = events
 		scfg.Objective = objective
 		scfg.SLO = slo
+		scfg.RequestTracing = traces != nil
+		scfg.Traces = traces
+		scfg.SLOMonitor = sloMon
 		fl, err = buildFleet(s, *fleetN, *policyName, opts, scfg, reg, logger, rec)
 		if err != nil {
 			return err
@@ -193,6 +210,8 @@ func run(ctx context.Context, args []string) error {
 				Spans:   rec,
 				Feed:    feed,
 				Fleet:   fl,
+				Traces:  traces,
+				SLO:     sloMon,
 				Service: s.Name,
 			}, func(a net.Addr) {
 				fmt.Printf("observability server on http://%s\n", a)
@@ -206,13 +225,15 @@ func run(ctx context.Context, args []string) error {
 
 	if fl != nil {
 		if err := runFleet(ctx, fl, models, *gap, streamOutputs{
-			report:     *report,
-			metricsOut: *metricsOut,
-			spansOut:   *spansOut,
-			registry:   reg,
-			logger:     logger,
-			spans:      rec,
-			service:    s.Name,
+			report:      *report,
+			metricsOut:  *metricsOut,
+			spansOut:    *spansOut,
+			reqTraceOut: *reqTrace,
+			registry:    reg,
+			logger:      logger,
+			spans:       rec,
+			sloMon:      sloMon,
+			service:     s.Name,
 		}); err != nil {
 			return err
 		}
@@ -225,15 +246,18 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *streamMode {
 		if err := runStream(ctx, planner, models, events, *gap, *window, objective, slo, streamOutputs{
-			report:     *report,
-			metricsOut: *metricsOut,
-			traceOut:   *traceOut,
-			spansOut:   *spansOut,
-			registry:   reg,
-			logger:     logger,
-			feed:       feed,
-			spans:      rec,
-			service:    s.Name,
+			report:      *report,
+			metricsOut:  *metricsOut,
+			traceOut:    *traceOut,
+			spansOut:    *spansOut,
+			reqTraceOut: *reqTrace,
+			registry:    reg,
+			logger:      logger,
+			feed:        feed,
+			spans:       rec,
+			traces:      traces,
+			sloMon:      sloMon,
+			service:     s.Name,
 		}); err != nil {
 			return err
 		}
@@ -440,15 +464,18 @@ func printFrontier(f *core.Frontier, selected *core.FrontierPoint, slo core.SLOC
 // streamOutputs carries the observability outputs requested on the command
 // line into runStream.
 type streamOutputs struct {
-	report     bool
-	metricsOut string
-	traceOut   string
-	spansOut   string
-	registry   *obs.Registry
-	logger     *slog.Logger
-	feed       *stream.Feed
-	spans      *obs.SpanRecorder
-	service    string
+	report      bool
+	metricsOut  string
+	traceOut    string
+	spansOut    string
+	reqTraceOut string
+	registry    *obs.Registry
+	logger      *slog.Logger
+	feed        *stream.Feed
+	spans       *obs.SpanRecorder
+	traces      *stream.TraceStore
+	sloMon      *obs.SLOMonitor
+	service     string
 }
 
 // runStream replays the models as a Poisson arrival stream with per-window
@@ -463,6 +490,10 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 	cfg.Feed = out.feed
 	cfg.Objective = objective
 	cfg.SLO = slo
+	cfg.RequestTracing = out.traces != nil || out.reqTraceOut != ""
+	cfg.Traces = out.traces
+	cfg.SLOMonitor = out.sloMon
+	cfg.DeviceName = out.service
 	sched, err := stream.NewScheduler(planner, cfg)
 	if err != nil {
 		return err
@@ -501,6 +532,11 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 		}
 		fmt.Printf("wrote Chrome stream trace to %s\n", out.traceOut)
 	}
+	if out.reqTraceOut != "" {
+		if err := writeTimelines(out.reqTraceOut, res.Timelines); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("online run: %d requests, mean gap %v\n", len(requests), gap)
 	if objective == core.ObjectiveFrontier {
 		fmt.Printf("objective:          frontier (default SLO %s)\n", sloName(slo))
@@ -532,6 +568,7 @@ func runStream(ctx context.Context, planner *core.Planner, models []*model.Model
 				ws.Requests, ws.Completed, ws.Requeued, ws.EventsApplied, ws.PlanRetries, mark)
 		}
 	}
+	printSLOBudgets(out.sloMon)
 	return nil
 }
 
@@ -579,6 +616,11 @@ func runFleet(ctx context.Context, fl *fleet.Fleet, models []*model.Model, gap t
 			return err
 		}
 	}
+	if out.reqTraceOut != "" {
+		if err := writeTimelines(out.reqTraceOut, res.Timelines); err != nil {
+			return err
+		}
+	}
 	if out.report {
 		raw, err := res.Report.JSON()
 		if err != nil {
@@ -605,6 +647,71 @@ func runFleet(ctx context.Context, fl *fleet.Fleet, models []*model.Model, gap t
 		fmt.Printf("  %-6s %-16s %-4s %4d assigned, %4d completed, %d in / %d out handoffs\n",
 			d.Device, d.SoC, state, d.Assigned, d.Completed, d.HandoffsIn, d.HandoffsOut)
 	}
+	printSLOBudgets(out.sloMon)
+	return nil
+}
+
+// parseSLOBudgets parses the -slo-budget flag: comma-separated class=target
+// pairs where class is a named SLO class (latency-critical, balanced,
+// battery-saver) and target is the tolerated deadline-miss fraction.
+func parseSLOBudgets(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -slo-budget entry %q (want class=target)", part)
+		}
+		class, err := core.ParseSLOClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("-slo-budget: %w", err)
+		}
+		if class.Kind == core.SLOUnset {
+			return nil, fmt.Errorf("-slo-budget: empty class in %q", part)
+		}
+		var target float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%g", &target); err != nil {
+			return nil, fmt.Errorf("bad -slo-budget target %q: %w", val, err)
+		}
+		if target < 0 || target > 1 {
+			return nil, fmt.Errorf("-slo-budget target %g out of range [0,1]", target)
+		}
+		out[class.String()] = target
+	}
+	return out, nil
+}
+
+// printSLOBudgets prints the per-class error-budget summary after a run (the
+// textual form of the /slo endpoint). A nil monitor prints nothing.
+func printSLOBudgets(mon *obs.SLOMonitor) {
+	if mon == nil {
+		return
+	}
+	rep := mon.Report()
+	if len(rep.Classes) == 0 {
+		return
+	}
+	fmt.Println("\nSLO error budgets:")
+	for _, c := range rep.Classes {
+		fmt.Printf("  %-18s target %5.3f  missed %d/%d (%.3f)  burn %5.2fx  budget left %5.1f%%\n",
+			c.Class, c.Target, c.Missed, c.Total, c.MissFraction,
+			c.BurnRate, c.BudgetRemaining*100)
+	}
+}
+
+// writeTimelines dumps the run's request timelines (phase events and sojourn
+// decompositions) as indented JSON.
+func writeTimelines(path string, tls []stream.RequestTimeline) error {
+	data, err := json.MarshalIndent(tls, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d request timelines to %s\n", len(tls), path)
 	return nil
 }
 

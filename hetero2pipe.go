@@ -64,6 +64,16 @@ func NewSystemFor(s *soc.SoC, opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
+	// Request tracing and SLO budgets are system-scoped: one flight-recorder
+	// store and one monitor, shared by every device (built here, not in the
+	// Option, so reusing an Option value across systems never shares state).
+	if cfg.tracing {
+		cfg.stream.RequestTracing = true
+		cfg.stream.Traces = stream.NewTraceStore(cfg.traceCap, 0)
+	}
+	if len(cfg.sloBudgets) > 0 {
+		cfg.stream.SLOMonitor = obs.NewSLOMonitor(0, cfg.sloBudgets)
+	}
 	// fleet.NewDevice fans the registry and logger into planner and
 	// scheduler (through a `device` label when the device is named); option
 	// order doesn't matter because WithPlannerOptions replaces the struct

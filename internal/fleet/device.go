@@ -83,6 +83,11 @@ func NewDevice(spec DeviceSpec, reg *obs.Registry, logger *slog.Logger) (*Device
 		popts.Logger = logger
 		scfg.Logger = logger
 	}
+	// Phase events and partial timelines carry the device identity through
+	// fleet stitching.
+	if scfg.DeviceName == "" {
+		scfg.DeviceName = spec.Name
+	}
 	if scfg.MaxWindow == 0 {
 		scfg = mergeStreamDefaults(scfg)
 	}
@@ -114,6 +119,10 @@ func mergeStreamDefaults(cfg stream.Config) stream.Config {
 	def.HaltInfeasible = cfg.HaltInfeasible
 	def.Objective = cfg.Objective
 	def.SLO = cfg.SLO
+	def.RequestTracing = cfg.RequestTracing
+	def.Traces = cfg.Traces
+	def.SLOMonitor = cfg.SLOMonitor
+	def.DeviceName = cfg.DeviceName
 	if cfg.MaxBatch != 0 {
 		def.MaxBatch = cfg.MaxBatch
 	}
@@ -191,6 +200,18 @@ func (d *Device) Run(ctx context.Context, requests []stream.Request, cfg stream.
 	}
 	if cfg.SLO.Kind == core.SLOUnset {
 		cfg.SLO = d.cfg.SLO
+	}
+	if !cfg.RequestTracing {
+		cfg.RequestTracing = d.cfg.RequestTracing
+	}
+	if cfg.Traces == nil {
+		cfg.Traces = d.cfg.Traces
+	}
+	if cfg.SLOMonitor == nil {
+		cfg.SLOMonitor = d.cfg.SLOMonitor
+	}
+	if cfg.DeviceName == "" {
+		cfg.DeviceName = d.cfg.DeviceName
 	}
 	sched, err := stream.NewScheduler(d.planner, cfg)
 	if err != nil {

@@ -130,6 +130,14 @@ type Result struct {
 	// Down[d] marks devices that halted during the run (all capable
 	// processors offline past the plan-retry budget).
 	Down []bool
+	// Timelines[i] is request i's stitched fleet-wide timeline when request
+	// tracing is armed on any device: the phase events of every device the
+	// request touched (pre-handoff partials included), one trace ID
+	// throughout, and a sojourn decomposition — queue wait, backoff,
+	// interrupt loss, exec and handoff transit — summing exactly to the
+	// fleet-level sojourn against the original arrival. Nil when tracing is
+	// off.
+	Timelines []stream.RequestTimeline
 	// Report is the merged fleet report (obs.FleetReport).
 	Report *obs.FleetReport
 }
@@ -166,6 +174,33 @@ func (f *Fleet) RunContext(ctx context.Context, requests []stream.Request, execO
 	}
 	nd := len(f.devices)
 	f.policy.Reset(f.devices)
+
+	// Request tracing is armed fleet-wide when any device traces. Trace IDs
+	// are assigned here, from the fleet-wide index, before sharding — the
+	// only place every request is still in one namespace — so a handed-off
+	// request keeps one ID across devices and per-shard local indices can
+	// never collide. The input slice is not mutated.
+	tracing := false
+	var traceStore *stream.TraceStore
+	for _, d := range f.devices {
+		c := d.StreamConfig()
+		if c.RequestTracing || c.Traces != nil {
+			tracing = true
+			if traceStore == nil {
+				traceStore = c.Traces
+			}
+		}
+	}
+	if tracing {
+		traced := make([]stream.Request, n)
+		copy(traced, requests)
+		for i := range traced {
+			if traced[i].Trace == 0 {
+				traced[i].Trace = stream.NewTraceID(i)
+			}
+		}
+		requests = traced
+	}
 
 	if f.spans != nil {
 		ctx = obs.ContextWithRecorder(ctx, f.spans)
@@ -228,9 +263,33 @@ func (f *Fleet) RunContext(ctx context.Context, requests []stream.Request, execO
 	// earlier than the device's last scheduled instant.
 	busy := make([]time.Duration, nd)
 
+	// chains[i] accumulates request i's partial timelines from halted runs,
+	// in hop order; the completing segment stitches them into one fleet-wide
+	// timeline.
+	var chains [][]stream.RequestTimeline
+	if tracing {
+		chains = make([][]stream.RequestTimeline, n)
+		res.Timelines = make([]stream.RequestTimeline, n)
+	}
+
 	// merge folds one device run into the fleet result and returns the
 	// locals left unfinished by a halt.
 	merge := func(dev int, idxs []int, r *stream.Result, handoffRun bool) []int {
+		if tracing && r.Timelines != nil {
+			for local, fi := range idxs {
+				tl := r.Timelines[local]
+				if tl.Completed {
+					final := stitchTimeline(chains[fi], tl, requests[fi], fi)
+					res.Timelines[fi] = final
+					// Re-Put under the fleet-wide index; same trace ID, so
+					// this replaces the completing device's local-index entry
+					// in place.
+					traceStore.Put(final)
+				} else {
+					chains[fi] = append(chains[fi], tl)
+				}
+			}
+		}
 		unfin := make(map[int]bool, len(r.Unfinished))
 		for _, local := range r.Unfinished {
 			unfin[local] = true
@@ -400,8 +459,10 @@ func (f *Fleet) RunContext(ctx context.Context, requests []stream.Request, execO
 					Handoff:  true,
 					// The SLO class travels with the request: failover must
 					// not silently relax (or tighten) the objective a request
-					// asked for when it lands on the rescue device.
-					SLO: requests[h.idx].SLO,
+					// asked for when it lands on the rescue device. So does
+					// the trace ID — the handoff hop is one timeline, not two.
+					SLO:   requests[h.idx].SLO,
+					Trace: requests[h.idx].Trace,
 				}
 				idxs[i] = h.idx
 			}
@@ -435,6 +496,55 @@ func (f *Fleet) RunContext(ctx context.Context, requests []stream.Request, execO
 	f.logAt(slog.LevelInfo, "fleet run complete",
 		"requests", n, "handoffs", res.Handoffs, "makespan", res.Makespan)
 	return res, nil
+}
+
+// stitchTimeline merges a request's per-device timeline segments — the
+// partial timelines of every run that halted holding it, then the segment
+// that completed it — into one fleet-wide timeline under the original
+// arrival. Each hop contributes a handed_off event at the rescue device's
+// re-admission instant and a HandoffTransit component covering the dead time
+// from the source device's last covered instant (its halt, or the original
+// arrival for a request its device never saw arrive) to that re-admission.
+// Every segment's virtual components cover exactly its own
+// [arrival, last event] span, so the stitched components telescope to
+// completion − original arrival: the decomposition invariant holds fleet-wide.
+func stitchTimeline(chain []stream.RequestTimeline, final stream.RequestTimeline, orig stream.Request, fi int) stream.RequestTimeline {
+	segs := append(append([]stream.RequestTimeline(nil), chain...), final)
+	out := segs[0]
+	out.Index = fi
+	out.Events = append([]stream.PhaseEvent(nil), out.Events...)
+	for _, seg := range segs[1:] {
+		lastCovered := out.Events[len(out.Events)-1].At
+		transit := seg.Arrival - lastCovered
+		if transit < 0 {
+			transit = 0
+		}
+		out.Breakdown.HandoffTransit += transit
+		dev := ""
+		if len(seg.Events) > 0 {
+			dev = seg.Events[0].Device
+		}
+		out.Events = append(out.Events, stream.PhaseEvent{
+			Phase: stream.PhaseHandedOff, At: seg.Arrival, Device: dev, Window: -1,
+		})
+		out.Events = append(out.Events, seg.Events...)
+		out.Breakdown.Add(seg.Breakdown)
+		out.Handoff = true
+	}
+	out.Completed = final.Completed
+	out.Completion = final.Completion
+	out.Sojourn = final.Completion - out.Arrival
+	// The completing device judged the deadline against its re-admission
+	// arrival; the fleet judges against the original one (a segment-level
+	// miss is always a fleet-level miss, since the fleet sojourn is longer).
+	out.Missed = orig.Deadline > 0 && out.Sojourn > orig.Deadline
+	if out.Missed && !final.Missed {
+		last := out.Events[len(out.Events)-1]
+		out.Events = append(out.Events, stream.PhaseEvent{
+			Phase: stream.PhaseMissed, At: out.Completion, Device: last.Device, Window: last.Window,
+		})
+	}
+	return out
 }
 
 // markDown flips one device's live status and charges its handed-off count.
@@ -492,6 +602,9 @@ func (f *Fleet) buildReport(res *Result) *obs.FleetReport {
 			idx--
 		}
 		rep.P95SojournMS = float64(sojourns[idx]) / float64(time.Millisecond)
+	}
+	if res.Timelines != nil {
+		rep.Decomposition = stream.DecomposeTimelines(res.Timelines)
 	}
 	return rep
 }

@@ -21,7 +21,27 @@ type RunReport struct {
 	Executor ExecutorReport `json:"executor"`
 	Stream   StreamReport   `json:"stream"`
 
+	// Decomposition aggregates the per-request sojourn breakdowns over every
+	// completed, traced request (populated only when request tracing is
+	// armed; see stream.Breakdown for component semantics).
+	Decomposition *DecompositionReport `json:"sojourn_decomposition,omitempty"`
+
 	Windows []WindowReport `json:"windows,omitempty"`
+}
+
+// DecompositionReport totals the sojourn-decomposition components across a
+// run's completed requests. The virtual-clock components (queue wait,
+// backoff, interrupt loss, exec, handoff transit) sum to the run's total
+// sojourn; plan wall is the attributed real planner time, a separate clock
+// domain.
+type DecompositionReport struct {
+	Requests         int     `json:"requests"`
+	QueueWaitMS      float64 `json:"queue_wait_ms"`
+	BackoffMS        float64 `json:"backoff_ms"`
+	InterruptLossMS  float64 `json:"interrupt_loss_ms"`
+	ExecMS           float64 `json:"exec_ms"`
+	HandoffTransitMS float64 `json:"handoff_transit_ms"`
+	PlanWallMS       float64 `json:"plan_wall_ms"`
 }
 
 // PlannerReport aggregates planning-side observability across every window
@@ -71,6 +91,10 @@ type StreamReport struct {
 	Handoffs   int  `json:"handoffs,omitempty"`
 	Halted     bool `json:"halted,omitempty"`
 	Unfinished int  `json:"unfinished,omitempty"`
+	// DeadlineMissesBySLO attributes the run's deadline misses to resolved
+	// SLO classes — the per-class view behind the /slo burn rates. The
+	// per-class counts sum to DeadlineMisses.
+	DeadlineMissesBySLO map[string]int `json:"deadline_misses_by_slo,omitempty"`
 }
 
 // WindowReport is the per-window row of the report table.
@@ -126,6 +150,10 @@ type FleetReport struct {
 	MakespanMS    float64 `json:"makespan_ms"`
 	MeanSojournMS float64 `json:"mean_sojourn_ms"`
 	P95SojournMS  float64 `json:"p95_sojourn_ms"`
+
+	// Decomposition aggregates the stitched fleet-wide sojourn breakdowns
+	// (populated only when request tracing is armed).
+	Decomposition *DecompositionReport `json:"sojourn_decomposition,omitempty"`
 
 	PerDevice []FleetDeviceReport `json:"per_device"`
 }

@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"hetero2pipe/internal/fleet"
@@ -37,6 +38,11 @@ type Config struct {
 	// Fleet backs /fleet (live sharded-serving status: per-device
 	// assignment, completion and handoff counts).
 	Fleet *fleet.Fleet
+	// Traces backs /requests (per-request timeline flight recorder: recent,
+	// ?trace=ID lookup, ?worst=N, SSE with ?sse=1).
+	Traces *stream.TraceStore
+	// SLO backs /slo (per-class error budgets and burn rates).
+	SLO *obs.SLOMonitor
 	// Service names the OTLP resource; empty defaults to "hetero2pipe".
 	Service string
 }
@@ -51,6 +57,9 @@ type Config struct {
 //	/windows        live WindowStats: JSON array, or SSE with ?sse=1
 //	/spans          the span ring as OTLP/JSON
 //	/fleet          live fleet status (Config.Fleet)
+//	/requests       request timelines: recent (default, ?n=), one by
+//	                ?trace=ID, worst sojourns by ?worst=N, or SSE with ?sse=1
+//	/slo            per-class error budgets and burn rates (Config.SLO)
 func Handler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +125,62 @@ func Handler(cfg Config) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(cfg.Fleet.Status())
 	})
+	mux.HandleFunc("/requests", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Traces == nil {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		if q.Get("sse") != "" {
+			serveRequestSSE(w, r, cfg.Traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if trace := q.Get("trace"); trace != "" {
+			tl, ok := cfg.Traces.Get(trace)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				_ = enc.Encode(map[string]string{"error": "trace not found", "trace": trace})
+				return
+			}
+			_ = enc.Encode(tl)
+			return
+		}
+		if worst := q.Get("worst"); worst != "" {
+			n, err := strconv.Atoi(worst)
+			if err != nil || n < 1 {
+				http.Error(w, "bad worst count", http.StatusBadRequest)
+				return
+			}
+			_ = enc.Encode(requestsPayload{
+				Total:    cfg.Traces.Total(),
+				Requests: cfg.Traces.Worst(n),
+			})
+			return
+		}
+		n := 0
+		if v := q.Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				n = parsed
+			}
+		}
+		_ = enc.Encode(requestsPayload{
+			Total:    cfg.Traces.Total(),
+			Requests: cfg.Traces.Recent(n),
+		})
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.SLO == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.SLO.Report())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -153,6 +218,63 @@ func sojournQuantiles(reg *obs.Registry) *sojournPayload {
 	}
 	qs := h.Quantiles(0.50, 0.95, 0.99)
 	return &sojournPayload{P50MS: qs[0] * 1e3, P95MS: qs[1] * 1e3, P99MS: qs[2] * 1e3}
+}
+
+// requestsPayload is the /requests JSON document.
+type requestsPayload struct {
+	// Total counts every timeline ever recorded (including evicted ones);
+	// Requests is the selected slice.
+	Total    int                      `json:"total"`
+	Requests []stream.RequestTimeline `json:"requests"`
+}
+
+// serveRequestSSE streams completed request timelines as Server-Sent
+// Events: the retained store first (history for late subscribers), then
+// every timeline recorded while the client stays connected.
+func serveRequestSSE(w http.ResponseWriter, r *http.Request, traces *stream.TraceStore) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	// Subscribe before replaying so nothing recorded in between is lost;
+	// duplicates are harmless (timelines are idempotent by trace ID).
+	ch, cancel := traces.Subscribe(64)
+	defer cancel()
+	for _, tl := range traces.Recent(0) {
+		if writeRequestSSE(w, tl) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case tl, ok := <-ch:
+			if !ok {
+				return
+			}
+			if writeRequestSSE(w, tl) != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeRequestSSE renders one timeline as an SSE "request" event.
+func writeRequestSSE(w http.ResponseWriter, tl stream.RequestTimeline) error {
+	data, err := json.Marshal(tl)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: request\ndata: %s\n\n", data)
+	return err
 }
 
 // serveSSE streams the feed as Server-Sent Events: first the retained ring

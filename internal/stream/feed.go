@@ -3,6 +3,8 @@ package stream
 import (
 	"sync"
 	"sync/atomic"
+
+	"hetero2pipe/internal/obs"
 )
 
 // Feed is the scheduler's live window outlet: a bounded ring of completed
@@ -17,10 +19,22 @@ type Feed struct {
 	mu     sync.Mutex
 	ring   []WindowStat
 	total  int
-	subs   map[int]chan WindowStat
+	subs   map[int]*feedSub
 	nextID int
 	// active counts runs currently inside RunContext (admissions open).
 	active atomic.Int32
+	// drops counts events dropped across every subscriber (full buffers);
+	// dropCounter mirrors them onto stream_feed_drops_total when a run
+	// binds its registry.
+	drops       atomic.Uint64
+	dropCounter atomic.Pointer[obs.Counter]
+}
+
+// feedSub is one live subscription: its channel and how many events
+// overflowed its buffer and were dropped.
+type feedSub struct {
+	ch    chan WindowStat
+	drops atomic.Uint64
 }
 
 // DefaultFeedCapacity is the ring size NewFeed applies to non-positive
@@ -33,7 +47,7 @@ func NewFeed(capacity int) *Feed {
 	if capacity <= 0 {
 		capacity = DefaultFeedCapacity
 	}
-	return &Feed{ring: make([]WindowStat, 0, capacity), subs: make(map[int]chan WindowStat)}
+	return &Feed{ring: make([]WindowStat, 0, capacity), subs: make(map[int]*feedSub)}
 }
 
 // start marks a run as accepting admissions.
@@ -52,6 +66,16 @@ func (f *Feed) stop() {
 	f.active.Add(-1)
 }
 
+// bindDrops points the feed's drop mirror at a registry counter
+// (stream_feed_drops_total). Called by the scheduler at run start; the last
+// bound counter wins when runs share a feed.
+func (f *Feed) bindDrops(c *obs.Counter) {
+	if f == nil {
+		return
+	}
+	f.dropCounter.Store(c)
+}
+
 // Ready reports whether a stream run is currently accepting admissions.
 func (f *Feed) Ready() bool {
 	return f != nil && f.active.Load() > 0
@@ -59,7 +83,9 @@ func (f *Feed) Ready() bool {
 
 // publish appends one completed window to the ring and fans it out to the
 // subscribers. Slow subscribers never block the scheduler: a full channel
-// drops the event (the ring keeps the authoritative history).
+// drops the event — counted per subscriber and on the feed-wide total
+// (Drops, stream_feed_drops_total) so SSE consumers can detect the gap; the
+// ring keeps the authoritative history.
 func (f *Feed) publish(ws WindowStat) {
 	if f == nil {
 		return
@@ -72,10 +98,15 @@ func (f *Feed) publish(ws WindowStat) {
 		f.ring[len(f.ring)-1] = ws
 	}
 	f.total++
-	for _, ch := range f.subs {
+	for _, sub := range f.subs {
 		select {
-		case ch <- ws:
+		case sub.ch <- ws:
 		default:
+			sub.drops.Add(1)
+			f.drops.Add(1)
+			if c := f.dropCounter.Load(); c != nil {
+				c.Inc()
+			}
 		}
 	}
 	f.mu.Unlock()
@@ -90,6 +121,15 @@ func (f *Feed) Total() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.total
+}
+
+// Drops reports how many events have been dropped on full subscriber
+// buffers across the feed's lifetime, summed over all subscribers.
+func (f *Feed) Drops() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.drops.Load()
 }
 
 // Live snapshots the retained windows, oldest first.
@@ -107,27 +147,35 @@ func (f *Feed) Live() []WindowStat {
 // buffer are dropped rather than blocking the scheduler). The cancel
 // function unregisters and closes the channel.
 func (f *Feed) Subscribe(buffer int) (<-chan WindowStat, func()) {
+	ch, _, cancel := f.SubscribeWithDrops(buffer)
+	return ch, cancel
+}
+
+// SubscribeWithDrops is Subscribe plus a drop probe: the second return reads
+// how many events have overflowed this subscriber's buffer so far, letting a
+// consumer detect gaps in its stream (the feed-wide ring keeps the history).
+func (f *Feed) SubscribeWithDrops(buffer int) (<-chan WindowStat, func() uint64, func()) {
 	if f == nil {
 		ch := make(chan WindowStat)
 		close(ch)
-		return ch, func() {}
+		return ch, func() uint64 { return 0 }, func() {}
 	}
 	if buffer < 1 {
 		buffer = 16
 	}
-	ch := make(chan WindowStat, buffer)
+	sub := &feedSub{ch: make(chan WindowStat, buffer)}
 	f.mu.Lock()
 	id := f.nextID
 	f.nextID++
-	f.subs[id] = ch
+	f.subs[id] = sub
 	f.mu.Unlock()
 	cancel := func() {
 		f.mu.Lock()
 		if _, ok := f.subs[id]; ok {
 			delete(f.subs, id)
-			close(ch)
+			close(sub.ch)
 		}
 		f.mu.Unlock()
 	}
-	return ch, cancel
+	return sub.ch, sub.drops.Load, cancel
 }

@@ -55,6 +55,12 @@ type Request struct {
 	// serving it; under makespan planning the class is carried but inert.
 	// The zero value defers to Config.SLO.
 	SLO core.SLOClass
+	// Trace is the request's distributed trace ID, stable across interrupts,
+	// requeues and fleet failover handoffs. The fleet front-end assigns IDs
+	// from the fleet-wide request index before sharding; a zero Trace on a
+	// standalone traced run is assigned from the run-local index
+	// (NewTraceID).
+	Trace TraceID
 }
 
 // Config tunes the online scheduler.
@@ -121,6 +127,25 @@ type Config struct {
 	// back to core.SLOLatencyCritical, which keeps frontier mode's selected
 	// plans byte-identical to makespan mode.
 	SLO core.SLOClass
+	// RequestTracing arms per-request lifecycle tracing: every request gets
+	// a stable TraceID, a RequestTimeline of phase events on the virtual
+	// clock (Result.Timelines), a sojourn decomposition whose virtual
+	// components sum exactly to the measured sojourn, and a trace-ID
+	// exemplar on the sojourn histogram. A non-nil Traces store arms tracing
+	// implicitly.
+	RequestTracing bool
+	// Traces, when set, receives every completed request's timeline — the
+	// bounded flight recorder behind the observability server's /requests
+	// endpoint. Setting it arms RequestTracing.
+	Traces *TraceStore
+	// SLOMonitor, when set, observes every request completion under its
+	// resolved SLO class name — per-class error budgets, windowed burn
+	// rates and the /slo endpoint. Independent of RequestTracing.
+	SLOMonitor *obs.SLOMonitor
+	// DeviceName stamps this scheduler's phase events and partial timelines
+	// with a device identity (set by the fleet layer; "" for standalone
+	// runs).
+	DeviceName string
 }
 
 // DefaultConfig plans up to eight requests per window with batching on and
@@ -244,6 +269,16 @@ type Result struct {
 	Halted     bool
 	HaltedAt   time.Duration
 	Unfinished []int
+	// MissesBySLO attributes deadline misses to resolved SLO class names
+	// (request class, else Config.SLO, else latency_critical). The values
+	// sum to DeadlineMisses; nil when the run had none.
+	MissesBySLO map[string]int
+	// Timelines holds one RequestTimeline per request when request tracing
+	// is armed (Config.RequestTracing or Config.Traces), indexed like
+	// Completions. Requests left unserved by a halt carry partial timelines
+	// (Completed false) — the fleet layer stitches them across failover
+	// hops. Nil when tracing is off.
+	Timelines []RequestTimeline
 	// WindowStats details each planning window in order.
 	WindowStats []WindowStat
 	// Report is the structured run report, always populated on success; its
@@ -282,6 +317,13 @@ func (r *Result) SojournQuantile(p int) time.Duration {
 	sorted := make([]time.Duration, len(r.Sojourns))
 	copy(sorted, r.Sojourns)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return quantileSorted(sorted, p)
+}
+
+// quantileSorted is the nearest-rank quantile over an already-sorted slice —
+// the shared core of SojournQuantile and report building (which sorts once
+// for its three percentiles instead of once per call).
+func quantileSorted(sorted []time.Duration, p int) time.Duration {
 	idx := (len(sorted)*p + 99) / 100
 	if idx > 0 {
 		idx--
@@ -377,6 +419,13 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	mExecSeconds := reg.Histogram("stream_window_exec_seconds", obs.LatencyBuckets())
 	mSojourn := reg.Histogram("stream_sojourn_seconds", obs.LatencyBuckets())
 
+	// Per-request tracing: nil when unarmed (every reqTracer hook is
+	// nil-receiver-safe, so the loop below instruments unconditionally).
+	var tracer *reqTracer
+	if s.cfg.RequestTracing || s.cfg.Traces != nil {
+		tracer = newReqTracer(requests, s.cfg.DeviceName, s.requestSLO(Request{}).String())
+	}
+
 	// Root span of the run: every window, plan, replan and executor slice
 	// span descends from it. The procs attribute carries the processor IDs
 	// the Chrome-trace converter needs for its track names.
@@ -391,7 +440,9 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	defer runSpan.End()
 
 	// While the loop below runs, the scheduler is accepting admissions:
-	// the feed's readiness signal (the obs server's /readyz).
+	// the feed's readiness signal (the obs server's /readyz). Fan-out drops
+	// on slow subscribers mirror onto stream_feed_drops_total.
+	s.cfg.Feed.bindDrops(reg.Counter("stream_feed_drops_total"))
 	s.cfg.Feed.start()
 	defer s.cfg.Feed.stop()
 
@@ -435,18 +486,31 @@ func (s *Scheduler) RunContext(ctx context.Context, requests []Request, execOpts
 	record := func(global int, done time.Duration, ws *WindowStat, sp *obs.Span) {
 		res.Completions[global] = done
 		res.Sojourns[global] = done - requests[global].Arrival
-		mSojourn.ObserveDuration(res.Sojourns[global])
+		mSojourn.ObserveDurationExemplar(res.Sojourns[global], tracer.traceID(global))
 		if requests[global].Handoff {
 			ws.Handoffs++
 			res.Handoffs++
 			mHandoffs.Inc()
 		}
+		slo := s.requestSLO(requests[global]).String()
+		missed := false
 		if d := requests[global].Deadline; d > 0 && res.Sojourns[global] > d {
+			missed = true
 			res.DeadlineMisses++
 			mDeadlineMisses.Inc()
+			// Per-class miss attribution: the labeled counter feeding the
+			// /slo view, and its Result-side mirror.
+			reg.WithLabels("slo", slo).Counter("stream_deadline_miss_total").Inc()
+			if res.MissesBySLO == nil {
+				res.MissesBySLO = make(map[string]int)
+			}
+			res.MissesBySLO[slo]++
 			logAt(slog.LevelWarn, "deadline miss", sp,
-				"request", global, "sojourn", res.Sojourns[global], "deadline", d)
+				"request", global, "sojourn", res.Sojourns[global], "deadline", d,
+				"slo", slo, "trace", tracer.traceID(global))
 		}
+		s.cfg.SLOMonitor.Observe(slo, done, missed)
+		tracer.complete(global, done, missed)
 		if done > res.Makespan {
 			res.Makespan = done
 		}
@@ -485,14 +549,17 @@ runLoop:
 		var take int
 		var window []int
 		var winSLO core.SLOClass
+		tracer.beginWindow(res.Windows, ws.Start)
 		for attempt := 0; ; attempt++ {
 			// Admit everything that has arrived by now.
 			for next < n && requests[next].Arrival <= now {
+				tracer.enqueue(next, requests[next].Arrival)
 				queue = append(queue, next)
 				next++
 			}
 			take = min(len(queue), s.cfg.MaxWindow)
 			window = queue[:take]
+			tracer.admitWindow(window, now)
 			models := make([]*model.Model, take)
 			for i, global := range window {
 				models[i] = requests[global].Model
@@ -520,6 +587,7 @@ runLoop:
 				res.Unfinished = append(append([]int(nil), queue...), intRange(next, n)...)
 				res.Halted = true
 				res.HaltedAt = now
+				tracer.halt(now, queue)
 				wspan.SetAttrs(obs.Bool("halted", true), obs.Dur("vt_end", now))
 				wspan.End()
 				logAt(slog.LevelWarn, "run halted: plan-retry budget exhausted", wspan,
@@ -542,7 +610,12 @@ runLoop:
 				ws.EventsApplied += applied
 			}
 		}
+		// The plan stands: `now` is the window's execution start after any
+		// retry backoff. Settle every member's queue-wait/backoff components
+		// and spread the planner's wall time across them.
+		tracer.planned(now)
 		ws.PlanWall = time.Since(planStart)
+		tracer.attributePlanWall(ws.PlanWall)
 		mPlanSeconds.ObserveDuration(ws.PlanWall)
 		hitsW2, missesW2 := s.planner.CacheStats()
 		ws.CacheHits, ws.CacheMisses = hitsW2-hitsW, missesW2-missesW
@@ -633,6 +706,7 @@ runLoop:
 			for local, global := range window {
 				if !survived[local] {
 					requeue = append(requeue, global)
+					tracer.interrupt(global, interruptAt)
 				}
 			}
 			queue = append(requeue, queue[take:]...)
@@ -679,8 +753,33 @@ runLoop:
 	planHits1, planMisses1 := s.planner.PlanCacheStats()
 	res.PlanCacheHits, res.PlanCacheMisses = planHits1-planHits0, planMisses1-planMisses0
 	res.IncrementalReuse = s.planner.IncrementalReuse() - reuse0
+	if tracer != nil {
+		res.Timelines = tracer.timelines()
+		// Completed timelines feed the flight recorder; partial ones (halt
+		// leftovers) stay on the Result for the fleet layer to stitch across
+		// the failover hop.
+		for i := range res.Timelines {
+			if res.Timelines[i].Completed {
+				s.cfg.Traces.Put(res.Timelines[i])
+			}
+		}
+	}
 	res.Report = s.buildReport(res, n, &execAgg)
 	return res, nil
+}
+
+// requestSLO resolves one request's class for miss attribution and SLO
+// budget accounting: the request's own class, else the config default, else
+// latency-critical — the same chain windowSLO applies window-wide.
+func (s *Scheduler) requestSLO(req Request) core.SLOClass {
+	slo := req.SLO
+	if slo.Kind == core.SLOUnset {
+		slo = s.cfg.SLO
+	}
+	if slo.Kind == core.SLOUnset {
+		slo = core.SLOLatencyCritical
+	}
+	return slo
 }
 
 // maxRetryBackoff caps a single failed-plan backoff pause. Callers with a
@@ -743,15 +842,23 @@ func (a *execAggregate) fold(r *pipeline.Result) {
 // obs tests pin); the per-layer breakdowns add only derived ratios and
 // unit conversions.
 func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *obs.RunReport {
+	// One sort serves all three report percentiles (SojournQuantile itself
+	// copies and sorts per call — fine one-off, wasteful three times here).
+	var p50, p95, p99 time.Duration
+	if len(res.Sojourns) > 0 {
+		sorted := append([]time.Duration(nil), res.Sojourns...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		p50, p95, p99 = quantileSorted(sorted, 50), quantileSorted(sorted, 95), quantileSorted(sorted, 99)
+	}
 	rep := &obs.RunReport{
 		SoC:           s.planner.SoC().Name,
 		Requests:      requests,
 		Completed:     requests - len(res.Unfinished),
 		MakespanMS:    durMS(res.Makespan),
 		MeanSojournMS: durMS(res.MeanSojourn()),
-		P50SojournMS:  durMS(res.SojournQuantile(50)),
-		P95SojournMS:  durMS(res.P95Sojourn()),
-		P99SojournMS:  durMS(res.SojournQuantile(99)),
+		P50SojournMS:  durMS(p50),
+		P95SojournMS:  durMS(p95),
+		P99SojournMS:  durMS(p99),
 		Planner: obs.PlannerReport{
 			CacheHits:        res.CacheHits,
 			CacheMisses:      res.CacheMisses,
@@ -777,6 +884,15 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 			Halted:         res.Halted,
 			Unfinished:     len(res.Unfinished),
 		},
+	}
+	if len(res.MissesBySLO) > 0 {
+		rep.Stream.DeadlineMissesBySLO = make(map[string]int, len(res.MissesBySLO))
+		for class, misses := range res.MissesBySLO {
+			rep.Stream.DeadlineMissesBySLO[class] = misses
+		}
+	}
+	if res.Timelines != nil {
+		rep.Decomposition = DecomposeTimelines(res.Timelines)
 	}
 	if total := res.CacheHits + res.CacheMisses; total > 0 {
 		rep.Planner.CacheHitRatio = float64(res.CacheHits) / float64(total)
@@ -819,6 +935,27 @@ func (s *Scheduler) buildReport(res *Result, requests int, agg *execAggregate) *
 // durMS converts a duration to float milliseconds for the report.
 func durMS(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
+}
+
+// DecomposeTimelines aggregates completed timelines' sojourn breakdowns into
+// the report's decomposition roll-up (shared by the stream and fleet report
+// builders).
+func DecomposeTimelines(tls []RequestTimeline) *obs.DecompositionReport {
+	d := &obs.DecompositionReport{}
+	for i := range tls {
+		if !tls[i].Completed {
+			continue
+		}
+		b := tls[i].Breakdown
+		d.Requests++
+		d.QueueWaitMS += durMS(b.QueueWait)
+		d.BackoffMS += durMS(b.Backoff)
+		d.InterruptLossMS += durMS(b.InterruptLoss)
+		d.ExecMS += durMS(b.Exec)
+		d.HandoffTransitMS += durMS(b.HandoffTransit)
+		d.PlanWallMS += durMS(b.PlanWall)
+	}
+	return d
 }
 
 // planWindow plans one window's models, with or without Appendix-D

@@ -22,6 +22,13 @@ type config struct {
 	// fleetPolicy names its routing policy ("" = consistent hashing).
 	fleetSize   int
 	fleetPolicy string
+	// tracing arms per-request distributed tracing (WithRequestTracing);
+	// traceCap bounds the flight-recorder store.
+	tracing  bool
+	traceCap int
+	// sloBudgets maps SLO class names to target miss fractions
+	// (WithSLOBudget); non-empty arms the SLO monitor.
+	sloBudgets map[string]float64
 }
 
 func defaultConfig() config {
@@ -140,6 +147,42 @@ func WithObjective(m ObjectiveMode) Option {
 // planning.
 func WithSLOClass(class SLOClass) Option {
 	return optionFunc(func(c *config) { c.stream.SLO = class })
+}
+
+// WithRequestTracing arms per-request distributed tracing: every stream and
+// fleet request gets a stable trace ID at admission, a lifecycle timeline of
+// phase events on the virtual clock (arrived → queued → window-admitted →
+// planned → executing → interrupted/requeued → handed-off →
+// completed/missed), and a sojourn decomposition — queue wait, retry
+// backoff, interrupt loss, exec and handoff transit, summing exactly to the
+// measured sojourn — plus trace-ID exemplars on the sojourn histogram
+// (WithMetrics). Timelines land on StreamResult.Timelines /
+// FleetResult.Timelines and in the system's flight-recorder store
+// (RequestTraces), which retains the last capacity completed timelines
+// (≤ 0 selects the default, 1024) and the worst-sojourn shortlist — the
+// observability server's /requests endpoint. Under WithFleet, trace IDs
+// survive failover: a handed-off request yields one fleet-wide timeline
+// spanning every device it touched.
+func WithRequestTracing(capacity int) Option {
+	return optionFunc(func(c *config) {
+		c.tracing = true
+		c.traceCap = capacity
+	})
+}
+
+// WithSLOBudget registers an error budget for one SLO class: target is the
+// tolerated deadline-miss fraction (e.g. 0.01 = 99% on-time). Budgeted
+// classes are monitored per completion — lifetime miss fractions, a
+// windowed burn rate (how many times faster than budget the class is
+// burning) and remaining budget — served by the observability server's /slo
+// endpoint and SLOBudgets. Repeat the option to budget several classes.
+func WithSLOBudget(class SLOClass, target float64) Option {
+	return optionFunc(func(c *config) {
+		if c.sloBudgets == nil {
+			c.sloBudgets = make(map[string]float64)
+		}
+		c.sloBudgets[class.String()] = target
+	})
 }
 
 // WithIncrementalReplan toggles incremental replanning after degradation
