@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race diff degrade obs serve-test fleet reqtrace api api-update bench bench-smoke bench-diff bench-miss fuzz fuzz-degrade fuzz-fleet fuzz-beam
+.PHONY: check build vet test race diff degrade obs serve-test fleet reqtrace api api-update bench bench-exec bench-smoke bench-diff bench-miss fuzz fuzz-exec fuzz-degrade fuzz-fleet fuzz-beam exec-pool
 
 ## check: the tier-1 gate — everything a PR must keep green.
-check: vet build race diff degrade obs serve-test fleet reqtrace api bench-smoke
+check: vet build race diff degrade obs serve-test fleet reqtrace exec-pool api bench-smoke bench-exec
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,20 @@ api-update:
 bench:
 	$(GO) test -bench . -benchmem -count=5 -run xxx . | $(GO) run ./cmd/benchjson | tee BENCH_$(shell date +%Y-%m-%d).json
 
+## exec-pool: the pooled-executor correctness gate under the race detector —
+## the pooled-vs-unpooled differential over randomized schedules, the
+## concurrent Execute stress sharing the scratch pool, the tight-memory
+## admission sweep, and the steady-state allocation budget.
+exec-pool:
+	$(GO) test -race -count=1 -run 'TestDifferentialExecScratch|TestExecScratch|TestExecutorAllocBudget' ./internal/pipeline/
+
+## bench-exec: one quick -benchmem pass of the executor benchmarks (pooled
+## steady state, contention-free fast path, planner-shaped small schedules,
+## pool-sharing parallel execution, and the unpooled reference twin); part
+## of `make check` so the hot path's allocation profile stays visible.
+bench-exec:
+	$(GO) test -run xxx -bench 'BenchmarkExecute(SteadyState|NoContention|Small|Parallel)|BenchmarkReferenceExecute' -benchmem -benchtime 100x -count=1 ./internal/pipeline/
+
 ## bench-smoke: one quick pass of the stream serving benchmarks (steady
 ## state and churn, plan cache on and off) — a fast check that the online
 ## serving paths still run end to end; part of `make check`.
@@ -93,7 +107,7 @@ bench-smoke:
 
 ## bench-diff: guard against performance regressions — compare the two most
 ## recent BENCH_*.json archives (override with OLD=/NEW=) and fail on a
-## >10% ns/op or allocs/op regression.
+## >10% ns/op, bytes/op or allocs/op regression.
 bench-diff:
 	$(eval OLD ?= $(shell ls BENCH_*.json | sort | tail -2 | head -1))
 	$(eval NEW ?= $(shell ls BENCH_*.json | sort | tail -1))
@@ -108,6 +122,13 @@ bench-miss:
 ## fuzz: a short run of the parallel-vs-sequential differential fuzz target.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParallelPlannerDifferential -fuzztime 30s ./internal/core/
+
+## fuzz-exec: short fuzz of the pooled-executor differential — any fuzzed
+## (seed, request count, option bits) must produce a Result byte-identical
+## to the unpooled reference executor, including MemTrace, PeakMemoryBytes
+## and AdmissionStalls.
+fuzz-exec:
+	$(GO) test -run xxx -fuzz FuzzExecScratch -fuzztime 30s ./internal/pipeline/
 
 ## fuzz-degrade: short fuzz of the degradation-aware stream runtime, seeded
 ## with a processor going offline mid-window.

@@ -1,10 +1,11 @@
 // Command benchdiff compares two benchmark archives produced by
-// cmd/benchjson and reports per-benchmark deltas in ns/op and allocs/op:
+// cmd/benchjson and reports per-benchmark deltas in ns/op, bytes/op and
+// allocs/op:
 //
 //	go run ./cmd/benchdiff BENCH_old.json BENCH_new.json
 //
 // Repeated runs of the same benchmark (-count > 1) are collapsed to their
-// best (minimum) ns/op and allocs/op before comparison — the best run is
+// best (minimum) ns/op, bytes/op and allocs/op before comparison — the best run is
 // the least noisy estimate of the code's cost. The exit status is non-zero
 // when any benchmark regresses by more than the threshold (default 10%),
 // so `make bench-diff` doubles as a CI overhead guard.
@@ -29,10 +30,11 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// best is one benchmark's collapsed cost: the minimum observed ns/op and
-// allocs/op across repetitions.
+// best is one benchmark's collapsed cost: the minimum observed ns/op,
+// bytes/op and allocs/op across repetitions.
 type best struct {
 	ns     float64
+	bytes  int64
 	allocs int64
 }
 
@@ -41,6 +43,9 @@ type delta struct {
 	name             string
 	oldNs, newNs     float64
 	nsPct            float64 // (new-old)/old * 100
+	oldBytes         int64
+	newBytes         int64
+	bytesPct         float64
 	oldAllocs        int64
 	newAllocs        int64
 	allocsPct        float64
@@ -107,11 +112,14 @@ func load(r io.Reader) (map[string]best, error) {
 	for _, b := range results {
 		cur, seen := set[b.Name]
 		if !seen {
-			set[b.Name] = best{ns: b.NsPerOp, allocs: b.AllocsPerOp}
+			set[b.Name] = best{ns: b.NsPerOp, bytes: b.BytesPerOp, allocs: b.AllocsPerOp}
 			continue
 		}
 		if b.NsPerOp < cur.ns {
 			cur.ns = b.NsPerOp
+		}
+		if b.BytesPerOp < cur.bytes {
+			cur.bytes = b.BytesPerOp
 		}
 		if b.AllocsPerOp < cur.allocs {
 			cur.allocs = b.AllocsPerOp
@@ -144,18 +152,22 @@ func compare(oldSet, newSet map[string]best, threshold float64) []delta {
 		n, inNew := newSet[name]
 		d := delta{name: name, missingInOld: !inOld, missingInNew: !inNew}
 		if inOld {
-			d.oldNs, d.oldAllocs = o.ns, o.allocs
+			d.oldNs, d.oldBytes, d.oldAllocs = o.ns, o.bytes, o.allocs
 		}
 		if inNew {
-			d.newNs, d.newAllocs = n.ns, n.allocs
+			d.newNs, d.newBytes, d.newAllocs = n.ns, n.bytes, n.allocs
 		}
 		if inOld && inNew {
 			d.nsPct = pctChange(o.ns, n.ns)
+			d.bytesPct = pctChange(float64(o.bytes), float64(n.bytes))
 			d.allocsPct = pctChange(float64(o.allocs), float64(n.allocs))
 			switch {
 			case d.nsPct > threshold:
 				d.regressed = true
 				d.regressionDetail = fmt.Sprintf("ns/op +%.1f%%", d.nsPct)
+			case d.bytesPct > threshold:
+				d.regressed = true
+				d.regressionDetail = fmt.Sprintf("bytes/op +%.1f%%", d.bytesPct)
 			case d.allocsPct > threshold:
 				d.regressed = true
 				d.regressionDetail = fmt.Sprintf("allocs/op +%.1f%%", d.allocsPct)
@@ -180,25 +192,25 @@ func pctChange(old, new float64) float64 {
 }
 
 func printReport(w io.Writer, deltas []delta, threshold float64) {
-	fmt.Fprintf(w, "%-52s %14s %14s %8s %8s %8s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "ns Δ%", "old alc", "new alc", "alc Δ%")
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %10s %10s %8s %8s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns Δ%", "old B/op", "new B/op", "B Δ%", "old alc", "new alc", "alc Δ%")
 	regressions := 0
 	for _, d := range deltas {
 		switch {
 		case d.missingInOld:
-			fmt.Fprintf(w, "%-52s %14s %14.1f %8s %8s %8d %8s\n",
-				d.name, "-", d.newNs, "new", "-", d.newAllocs, "new")
+			fmt.Fprintf(w, "%-52s %14s %14.1f %8s %10s %10d %8s %8s %8d %8s\n",
+				d.name, "-", d.newNs, "new", "-", d.newBytes, "new", "-", d.newAllocs, "new")
 		case d.missingInNew:
-			fmt.Fprintf(w, "%-52s %14.1f %14s %8s %8d %8s %8s\n",
-				d.name, d.oldNs, "-", "gone", d.oldAllocs, "-", "gone")
+			fmt.Fprintf(w, "%-52s %14.1f %14s %8s %10d %10s %8s %8d %8s %8s\n",
+				d.name, d.oldNs, "-", "gone", d.oldBytes, "-", "gone", d.oldAllocs, "-", "gone")
 		default:
 			mark := ""
 			if d.regressed {
 				mark = "  << REGRESSION " + d.regressionDetail
 				regressions++
 			}
-			fmt.Fprintf(w, "%-52s %14.1f %14.1f %+7.1f%% %8d %8d %+7.1f%%%s\n",
-				d.name, d.oldNs, d.newNs, d.nsPct, d.oldAllocs, d.newAllocs, d.allocsPct, mark)
+			fmt.Fprintf(w, "%-52s %14.1f %14.1f %+7.1f%% %10d %10d %+7.1f%% %8d %8d %+7.1f%%%s\n",
+				d.name, d.oldNs, d.newNs, d.nsPct, d.oldBytes, d.newBytes, d.bytesPct, d.oldAllocs, d.newAllocs, d.allocsPct, mark)
 		}
 	}
 	if regressions > 0 {

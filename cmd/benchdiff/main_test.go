@@ -17,9 +17,9 @@ func loadT(t *testing.T, doc string) map[string]best {
 
 func TestLoadCollapsesRepetitionsToBest(t *testing.T) {
 	set := loadT(t, `[
-		{"name":"BenchmarkPlan-8","runs":100,"ns_per_op":1500,"allocs_per_op":12},
-		{"name":"BenchmarkPlan-8","runs":100,"ns_per_op":1200,"allocs_per_op":10},
-		{"name":"BenchmarkPlan-8","runs":100,"ns_per_op":1350,"allocs_per_op":11}
+		{"name":"BenchmarkPlan-8","runs":100,"ns_per_op":1500,"bytes_per_op":900,"allocs_per_op":12},
+		{"name":"BenchmarkPlan-8","runs":100,"ns_per_op":1200,"bytes_per_op":820,"allocs_per_op":10},
+		{"name":"BenchmarkPlan-8","runs":100,"ns_per_op":1350,"bytes_per_op":850,"allocs_per_op":11}
 	]`)
 	b, ok := set["BenchmarkPlan-8"]
 	if !ok {
@@ -27,6 +27,9 @@ func TestLoadCollapsesRepetitionsToBest(t *testing.T) {
 	}
 	if b.ns != 1200 {
 		t.Errorf("best ns/op %.0f, want the minimum 1200", b.ns)
+	}
+	if b.bytes != 820 {
+		t.Errorf("best bytes/op %d, want the minimum 820", b.bytes)
 	}
 	if b.allocs != 10 {
 		t.Errorf("best allocs/op %d, want the minimum 10", b.allocs)
@@ -66,6 +69,26 @@ func TestCompareFlagsAllocsRegression(t *testing.T) {
 	}
 	if !strings.Contains(d.regressionDetail, "allocs/op") {
 		t.Errorf("regression detail %q does not name allocs/op", d.regressionDetail)
+	}
+}
+
+func TestCompareFlagsBytesRegression(t *testing.T) {
+	oldSet := loadT(t, `[{"name":"BenchmarkX-8","runs":1,"ns_per_op":1000,"bytes_per_op":1000,"allocs_per_op":10}]`)
+	newSet := loadT(t, `[{"name":"BenchmarkX-8","runs":1,"ns_per_op":1000,"bytes_per_op":1200,"allocs_per_op":10}]`)
+	d := compare(oldSet, newSet, 10)[0]
+	if !d.regressed {
+		t.Errorf("+20%% bytes/op not flagged: %+v", d)
+	}
+	if !strings.Contains(d.regressionDetail, "bytes/op") {
+		t.Errorf("regression detail %q does not name bytes/op", d.regressionDetail)
+	}
+}
+
+func TestCompareBytesWithinThresholdPasses(t *testing.T) {
+	oldSet := loadT(t, `[{"name":"BenchmarkX-8","runs":1,"ns_per_op":1000,"bytes_per_op":1000,"allocs_per_op":10}]`)
+	newSet := loadT(t, `[{"name":"BenchmarkX-8","runs":1,"ns_per_op":1000,"bytes_per_op":1090,"allocs_per_op":10}]`)
+	if d := compare(oldSet, newSet, 10)[0]; d.regressed {
+		t.Errorf("+9%% bytes/op flagged under a 10%% threshold: %+v", d)
 	}
 }
 

@@ -119,6 +119,19 @@ func Slowdown(busGBps float64, self Footprint, others []Footprint) float64 {
 	for _, o := range others {
 		pressure += o.DemandGBps / busGBps
 	}
+	return SlowdownFromPressure(busGBps, self, pressure)
+}
+
+// SlowdownFromPressure is Slowdown with the co-runner pressure term
+// (Σ demand/bus over the co-runners) already accumulated by the caller. It
+// exists for hot paths that keep co-runner demands in reusable scratch and
+// sum them in place instead of materialising an []Footprint per victim;
+// callers must accumulate in the same co-runner order Slowdown would visit
+// for the result to stay bit-identical (float addition is order-sensitive).
+func SlowdownFromPressure(busGBps float64, self Footprint, pressure float64) float64 {
+	if busGBps <= 0 || self.Sensitivity <= 0 {
+		return 1
+	}
 	if pressure <= 0 {
 		return 1
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"hetero2pipe/internal/baseline"
@@ -60,8 +61,11 @@ func RunFig1(cfg Config) (*Report, error) {
 			if d := soloLatency(p, k); d < 0 {
 				cells[k] = "ERR"
 			} else {
-				cells[k] = fmt.Sprintf("%.2fms", d.Seconds()*1e3)
-				r.metric(fmt.Sprintf("%s/%s_ms", name, s.Processors[k].ID), d.Seconds()*1e3)
+				// strconv + concat instead of Sprintf: these per-cell
+				// strings dominate the hot experiment's formatting cost.
+				ms := d.Seconds() * 1e3
+				cells[k] = strconv.FormatFloat(ms, 'f', 2, 64) + "ms"
+				r.metric(name+"/"+s.Processors[k].ID+"_ms", ms)
 			}
 		}
 		r.add("%-12s %10s %10s %10s %10s", name, cells[0], cells[1], cells[2], cells[3])

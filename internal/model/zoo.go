@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Canonical zoo model names. The ten networks match Sec. VI-A of the paper.
@@ -32,6 +33,31 @@ var zooBuilders = map[string]func() *Model{
 	ViT:         NewViT,
 }
 
+// The zoo is built once and served as shared instances: constructing a
+// network is hundreds of layer appends, and hot callers (experiments,
+// planners, workload sweeps) look models up by name far more often than
+// anyone mutates one. Nothing in the repo writes to a looked-up model —
+// mutation goes through Clone (as Batched does) — so sharing is safe; the
+// cache is guarded by a Once so concurrent first lookups build it exactly
+// once.
+var (
+	zooOnce  sync.Once
+	zooCache map[string]*Model
+)
+
+func cachedZoo() map[string]*Model {
+	zooOnce.Do(func() {
+		zooCache = make(map[string]*Model, len(zooBuilders)+len(extraBuilders))
+		for name, build := range zooBuilders {
+			zooCache[name] = build()
+		}
+		for name, build := range extraBuilders {
+			zooCache[name] = build()
+		}
+	})
+	return zooCache
+}
+
 // Names returns the zoo model names in deterministic (sorted) order.
 func Names() []string {
 	names := make([]string, 0, len(zooBuilders))
@@ -42,15 +68,13 @@ func Names() []string {
 	return names
 }
 
-// ByName constructs a fresh instance of the named model, covering both the
+// ByName returns the shared instance of the named model, covering both the
 // ten-network evaluation zoo and the extra application networks
-// (ExtraNames).
+// (ExtraNames). The instance is cached and must be treated as immutable;
+// callers that need to modify a model must Clone it first.
 func ByName(name string) (*Model, error) {
-	if build, ok := zooBuilders[name]; ok {
-		return build(), nil
-	}
-	if build, ok := extraBuilders[name]; ok {
-		return build(), nil
+	if m, ok := cachedZoo()[name]; ok {
+		return m, nil
 	}
 	return nil, fmt.Errorf("model: unknown zoo model %q", name)
 }
@@ -65,21 +89,25 @@ func MustByName(name string) *Model {
 	return m
 }
 
-// Zoo constructs one instance of every zoo model, keyed by name.
+// Zoo returns one shared (immutable) instance of every zoo model, keyed by
+// name. The map itself is fresh and safe for the caller to modify.
 func Zoo() map[string]*Model {
+	cache := cachedZoo()
 	out := make(map[string]*Model, len(zooBuilders))
-	for name, build := range zooBuilders {
-		out[name] = build()
+	for name := range zooBuilders {
+		out[name] = cache[name]
 	}
 	return out
 }
 
-// All constructs every zoo model in deterministic name order.
+// All returns the shared (immutable) instance of every zoo model in
+// deterministic name order.
 func All() []*Model {
+	cache := cachedZoo()
 	names := Names()
 	out := make([]*Model, 0, len(names))
 	for _, name := range names {
-		out = append(out, zooBuilders[name]())
+		out = append(out, cache[name])
 	}
 	return out
 }

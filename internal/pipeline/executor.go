@@ -138,6 +138,13 @@ func Execute(s *Schedule, opts Options) (*Result, error) {
 // ExecuteContext is Execute under a cancellable context: cancellation is
 // checked at every virtual-clock advance, so a run aborts between slice
 // completions and returns an error wrapping ctx.Err().
+//
+// The simulation state lives in a pooled execScratch (see scratch.go), so a
+// steady-state call allocates only the Result and the slices it returns;
+// the per-step contention factors reuse one demands buffer and accumulate
+// each victim's skip-self pressure sum in the original co-runner order,
+// keeping every float bit-identical to the unpooled reference executor
+// (pinned by the differential and fuzz suites).
 func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -158,207 +165,282 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 	}
 	defer execSpan.End()
 
-	// stageDone[i][stage] = completion time, or -1 if pending.
-	stageDone := make([][]time.Duration, m)
-	for i := range stageDone {
-		stageDone[i] = make([]time.Duration, k)
-		for j := range stageDone[i] {
-			stageDone[i][j] = -1
+	// The non-empty slice count exactly sizes the execState slab and the
+	// Timeline, and bounds the MemTrace (each slice starts and completes
+	// exactly once).
+	slices := 0
+	for i := 0; i < m; i++ {
+		for st := 0; st < k; st++ {
+			if !s.Stages[i][st].Empty() {
+				slices++
+			}
 		}
 	}
-	// nextReq[stage] is the request index the processor must serve next
-	// (in-order per stage).
-	nextReq := make([]int, k)
-	busy := make([]bool, k)
-	admitted := make([]bool, m)
-	// stalled[i] marks request i as inside an admission stall episode, so
-	// repeated admission failures across clock advances count one stall.
-	stalled := make([]bool, m)
-	finishedReq := make([]bool, m)
-	memUse := int64(0)
-	memOf := make([]int64, m)
+
+	sc := acquireScratch(m, k, slices)
+	defer releaseScratch(sc)
+
+	e := execRun{
+		ctx: ctx, s: s, opts: opts, sc: sc, span: execSpan,
+		m: m, k: k,
+		busGBps: s.SoC.EffectiveBusBandwidthGBps(),
+		res: &Result{
+			Completions: make([]time.Duration, m),
+			Timeline:    make([]SliceExec, 0, slices),
+		},
+		running: sc.running,
+		still:   sc.still,
+	}
 	for i := 0; i < m; i++ {
-		memOf[i] = requestMemory(s, i)
+		sc.memOf[i] = requestMemory(s, i)
+	}
+	// Seed each request's frontier at its first non-empty stage.
+	for i := 0; i < m; i++ {
+		st := 0
+		for st < k && s.Stages[i][st].Empty() {
+			st++
+		}
+		sc.pendFrom[i] = st
+	}
+	if opts.SampleMemory {
+		// Each clock step completes at least one slice and records at most
+		// two samples (the completion pass plus a successful tryStart), and
+		// the initial fill records one more — so 2·slices+1 bounds the
+		// trace and the preallocation makes it append-only with no
+		// amortised regrowth.
+		e.res.MemTrace = make([]MemSample, 0, 2*slices+1)
 	}
 
-	res := &Result{Completions: make([]time.Duration, m)}
-	var running []*execState
-	now := time.Duration(0)
+	err := e.run()
+	// The running/still buffers swap roles every step; hand whichever two
+	// arrays they ended up as back to the scratch so their capacity is
+	// retained across the pool.
+	sc.running, sc.still = e.running[:0], e.still[:0]
+	if err != nil {
+		return nil, err
+	}
+	publishExecMetrics(opts.Metrics, e.res)
+	return e.res, nil
+}
 
-	// firstPendingStage returns the first non-empty stage of request i that
-	// is not yet done, and whether all stages are done.
-	firstPendingStage := func(i int) (int, bool) {
-		for st := 0; st < k; st++ {
-			if s.Stages[i][st].Empty() {
+// execRun is one execution's live state. Bundling it in a struct keeps the
+// hot loops as methods over one value instead of a web of capturing
+// closures, each of which would heap-allocate its environment per call.
+type execRun struct {
+	ctx     context.Context
+	s       *Schedule
+	opts    Options
+	sc      *execScratch
+	span    *obs.Span
+	res     *Result
+	m, k    int
+	busGBps float64
+	memUse  int64
+	now     time.Duration
+	running []*execState
+	still   []*execState
+	nStates int // next free slot in the scratch execState slab
+}
+
+// done reports whether request i has completed every non-empty stage: its
+// frontier has advanced past the last stage.
+func (e *execRun) done(i int) bool { return e.sc.pendFrom[i] >= e.k }
+
+// advanceFrontier moves request i's frontier past the just-completed stage
+// st to the next non-empty pending stage. Stages of one request complete in
+// order (a stage starts only when every earlier non-empty stage is done),
+// so st is always the current frontier.
+func (e *execRun) advanceFrontier(i, st int) {
+	next := st + 1
+	for next < e.k && e.s.Stages[i][next].Empty() {
+		next++
+	}
+	e.sc.pendFrom[i] = next
+}
+
+func (e *execRun) admit(i int) bool {
+	sc := e.sc
+	if sc.admitted[i] {
+		return true
+	}
+	// In-order admission: all earlier requests must be admitted first.
+	if i > 0 && !sc.admitted[i-1] {
+		return false
+	}
+	if e.opts.EnforceMemory && e.memUse+sc.memOf[i] > e.s.SoC.MemoryCapacityBytes && e.memUse > 0 {
+		return false
+	}
+	sc.admitted[i] = true
+	e.memUse += sc.memOf[i]
+	if e.memUse > e.res.PeakMemoryBytes {
+		e.res.PeakMemoryBytes = e.memUse
+	}
+	return true
+}
+
+func (e *execRun) finishRequest(i int, at time.Duration) {
+	e.sc.finishedReq[i] = true
+	e.res.Completions[i] = at
+	e.memUse -= e.sc.memOf[i]
+}
+
+func (e *execRun) sample() {
+	if !e.opts.SampleMemory {
+		return
+	}
+	var demand float64
+	for _, r := range e.running {
+		demand += r.fp.DemandGBps
+	}
+	e.res.MemTrace = append(e.res.MemTrace, MemSample{At: e.now, UsedBytes: e.memUse, DemandGBps: demand})
+}
+
+// tryStart launches every ready slice; returns whether any started.
+func (e *execRun) tryStart() bool {
+	s, sc := e.s, e.sc
+	started := false
+	for st := 0; st < e.k; st++ {
+		for !sc.busy[st] && sc.nextReq[st] < e.m {
+			i := sc.nextReq[st]
+			r := s.Stages[i][st]
+			if r.Empty() {
+				// Empty stages take no processor time and never gate
+				// dependencies (the frontier skips them).
+				sc.nextReq[st]++
 				continue
 			}
-			if stageDone[i][st] < 0 {
-				return st, false
+			// Dependency check: every earlier non-empty stage of request i
+			// done ⇔ the frontier has reached (or passed) st.
+			if sc.pendFrom[i] < st {
+				break
 			}
-		}
-		return 0, true
-	}
-
-	// depSatisfied reports whether request i's stage st may start now.
-	depSatisfied := func(i, st int) bool {
-		// All earlier non-empty stages of request i done.
-		for p := 0; p < st; p++ {
-			if !s.Stages[i][p].Empty() && stageDone[i][p] < 0 {
-				return false
-			}
-		}
-		return true
-	}
-
-	admit := func(i int) bool {
-		if admitted[i] {
-			return true
-		}
-		// In-order admission: all earlier requests must be admitted first.
-		if i > 0 && !admitted[i-1] {
-			return false
-		}
-		if opts.EnforceMemory && memUse+memOf[i] > s.SoC.MemoryCapacityBytes && memUse > 0 {
-			return false
-		}
-		admitted[i] = true
-		memUse += memOf[i]
-		if memUse > res.PeakMemoryBytes {
-			res.PeakMemoryBytes = memUse
-		}
-		return true
-	}
-
-	finishRequest := func(i int, at time.Duration) {
-		finishedReq[i] = true
-		res.Completions[i] = at
-		memUse -= memOf[i]
-	}
-
-	sample := func() {
-		if !opts.SampleMemory {
-			return
-		}
-		var demand float64
-		for _, r := range running {
-			demand += r.fp.DemandGBps
-		}
-		res.MemTrace = append(res.MemTrace, MemSample{At: now, UsedBytes: memUse, DemandGBps: demand})
-	}
-
-	// tryStart launches every ready slice; returns whether any started.
-	tryStart := func() bool {
-		started := false
-		for st := 0; st < k; st++ {
-			for !busy[st] && nextReq[st] < m {
-				i := nextReq[st]
-				r := s.Stages[i][st]
-				if r.Empty() {
-					// Empty stages take no processor time and never gate
-					// dependencies (depSatisfied skips them).
-					nextReq[st]++
-					continue
-				}
-				if !depSatisfied(i, st) {
-					break
-				}
-				if !admit(i) {
-					if !stalled[i] {
-						stalled[i] = true
-						res.AdmissionStalls++
-						if opts.Logger != nil {
-							opts.Logger.Log(ctx, slog.LevelDebug, "admission stall",
-								"request", i, "stage", st, "vt", now, "span", execSpan.IDHex())
-						}
+			if !e.admit(i) {
+				if !sc.stalled[i] {
+					sc.stalled[i] = true
+					e.res.AdmissionStalls++
+					if e.opts.Logger != nil {
+						e.opts.Logger.Log(e.ctx, slog.LevelDebug, "admission stall",
+							"request", i, "stage", st, "vt", e.now, "span", e.span.IDHex())
 					}
-					break
 				}
-				dur := s.StageTime(i, st)
-				if dur == soc.InfDuration {
-					// Validate precludes this; guard anyway.
-					break
-				}
-				es := &execState{
-					req: i, stage: st,
-					remaining: dur.Seconds(),
-					soloSec:   dur.Seconds(),
-					fp:        s.Profiles[i].Footprint(st, r.From, r.To),
-					start:     now,
-				}
-				running = append(running, es)
-				busy[st] = true
-				nextReq[st]++
-				started = true
+				break
 			}
-		}
-		if started {
-			sample()
-		}
-		return started
-	}
-
-	factorOf := func(es *execState) float64 {
-		if !opts.Contention {
-			return 1
-		}
-		others := make([]contention.Footprint, 0, len(running)-1)
-		for _, o := range running {
-			if o != es {
-				others = append(others, o.fp)
+			dur := s.StageTime(i, st)
+			if dur == soc.InfDuration {
+				// Validate precludes this; guard anyway.
+				break
 			}
+			es := &sc.states[e.nStates]
+			e.nStates++
+			es.req, es.stage = i, st
+			es.remaining = dur.Seconds()
+			es.soloSec = es.remaining
+			es.fp = s.Profiles[i].Footprint(st, r.From, r.To)
+			es.start = e.now
+			e.running = append(e.running, es)
+			sc.busy[st] = true
+			sc.nextReq[st]++
+			started = true
 		}
-		return contention.Slowdown(s.SoC.EffectiveBusBandwidthGBps(), es.fp, others)
 	}
+	if started {
+		e.sample()
+	}
+	return started
+}
 
-	tryStart()
+// stepFactors fills sc.factors with each running slice's dilation for this
+// clock step and returns the index and dilated time of the earliest
+// completion. The demands buffer is filled once per step; each victim's
+// pressure is then summed skipping itself in running order — the exact
+// summation order of the original per-slice []Footprint construction, which
+// is load-bearing: float addition is order-sensitive, and byte-identity
+// with the unpooled reference depends on it.
+func (e *execRun) stepFactors() (best int, bestDt float64) {
+	sc, n := e.sc, len(e.running)
+	best, bestDt = -1, math.Inf(1)
+	contended := e.opts.Contention && e.busGBps > 0
+	if contended {
+		for idx, es := range e.running {
+			sc.demands[idx] = es.fp.DemandGBps
+		}
+	}
+	for idx, es := range e.running {
+		f := 1.0
+		if contended && es.fp.Sensitivity > 0 {
+			var pressure float64
+			for j := 0; j < n; j++ {
+				if j != idx {
+					pressure += sc.demands[j] / e.busGBps
+				}
+			}
+			f = contention.SlowdownFromPressure(e.busGBps, es.fp, pressure)
+		}
+		sc.factors[idx] = f
+		dt := es.remaining * f
+		if dt < bestDt {
+			bestDt = dt
+			best = idx
+		}
+	}
+	return best, bestDt
+}
 
-	for len(running) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("pipeline: execution cancelled: %w", err)
+// run drives the virtual clock to completion and finalises the Result.
+func (e *execRun) run() error {
+	s, sc := e.s, e.sc
+	e.tryStart()
+
+	for len(e.running) > 0 {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("pipeline: execution cancelled: %w", err)
 		}
 		// Earliest completion under current dilation factors.
-		best := -1
-		bestDt := math.Inf(1)
-		factors := make([]float64, len(running))
-		for idx, es := range running {
-			f := factorOf(es)
-			factors[idx] = f
-			dt := es.remaining * f
-			if dt < bestDt {
-				bestDt = dt
-				best = idx
-			}
-		}
+		best, bestDt := e.stepFactors()
 		if best < 0 || math.IsInf(bestDt, 1) {
-			return nil, errors.New("pipeline: executor stuck with no finishable slice")
+			return errors.New("pipeline: executor stuck with no finishable slice")
 		}
-		now += time.Duration(bestDt * float64(time.Second))
-		for idx, es := range running {
-			es.remaining -= bestDt / factors[idx]
-			if es.remaining < 1e-12 {
-				es.remaining = 0
+		e.now += time.Duration(bestDt * float64(time.Second))
+		if e.opts.Contention {
+			for idx, es := range e.running {
+				es.remaining -= bestDt / sc.factors[idx]
+				if es.remaining < 1e-12 {
+					es.remaining = 0
+				}
+			}
+		} else {
+			// Contention disabled: every factor is exactly 1, so the
+			// division (x/1 == x bit-exactly) is skipped wholesale.
+			for _, es := range e.running {
+				es.remaining -= bestDt
+				if es.remaining < 1e-12 {
+					es.remaining = 0
+				}
 			}
 		}
-		// Complete every slice that reached zero (ties complete together).
-		var still []*execState
-		for _, es := range running {
+		// Complete every slice that reached zero (ties complete together);
+		// survivors move to the still buffer, then the two swap roles.
+		e.still = e.still[:0]
+		for _, es := range e.running {
 			if es.remaining > 0 {
-				still = append(still, es)
+				e.still = append(e.still, es)
 				continue
 			}
-			stageDone[es.req][es.stage] = now
-			busy[es.stage] = false
+			// The completion matrix stays the canonical record (the hot-path
+			// queries read the O(1) pendFrom frontier instead).
+			sc.stageDone[es.req*e.k+es.stage] = e.now
+			sc.busy[es.stage] = false
 			slow := 1.0
 			if es.soloSec > 0 {
-				slow = (now - es.start).Seconds() / es.soloSec
+				slow = (e.now - es.start).Seconds() / es.soloSec
 			}
-			res.Timeline = append(res.Timeline, SliceExec{
+			e.res.Timeline = append(e.res.Timeline, SliceExec{
 				Request: es.req, Stage: es.stage,
-				Start: es.start, End: now, Slowdown: slow,
+				Start: es.start, End: e.now, Slowdown: slow,
 			})
-			if execSpan != nil {
+			if e.span != nil {
 				lr := s.Stages[es.req][es.stage]
-				sp := execSpan.StartChild("slice",
+				sp := e.span.StartChild("slice",
 					obs.Int("request", int64(es.req)),
 					obs.Int("stage", int64(es.stage)),
 					obs.Str("proc", s.SoC.Processors[es.stage].ID),
@@ -367,39 +449,40 @@ func ExecuteContext(ctx context.Context, s *Schedule, opts Options) (*Result, er
 					obs.Int("layers_to", int64(lr.To)),
 					obs.Float("slowdown", slow),
 					obs.Dur("vt_start", es.start),
-					obs.Dur("vt_end", now))
+					obs.Dur("vt_end", e.now))
 				sp.End()
 			}
-			if _, done := firstPendingStage(es.req); done && !finishedReq[es.req] {
-				finishRequest(es.req, now)
+			e.advanceFrontier(es.req, es.stage)
+			if e.done(es.req) && !sc.finishedReq[es.req] {
+				e.finishRequest(es.req, e.now)
 			}
 		}
-		running = still
-		sample()
-		tryStart()
+		e.running, e.still = e.still, e.running
+		e.sample()
+		e.tryStart()
 	}
 
 	// Any request not yet finished means a scheduling deadlock.
-	for i := 0; i < m; i++ {
-		if !finishedReq[i] {
-			return nil, fmt.Errorf("pipeline: request %d never completed (deadlock)", i)
+	for i := 0; i < e.m; i++ {
+		if !sc.finishedReq[i] {
+			return fmt.Errorf("pipeline: request %d never completed (deadlock)", i)
 		}
 	}
 
-	res.Makespan = now
-	if execSpan != nil {
-		execSpan.SetAttrs(obs.Dur("vt_makespan", now), obs.Int("slices", int64(len(res.Timeline))))
+	e.res.Makespan = e.now
+	if e.span != nil {
+		e.span.SetAttrs(obs.Dur("vt_makespan", e.now), obs.Int("slices", int64(len(e.res.Timeline))))
 	}
-	res.BubbleTime = measureBubbles(res.Timeline, k)
-	res.EnergyJoules = measureEnergy(s.SoC, res.Timeline, now)
+	e.res.BubbleTime = measureBubbles(e.res.Timeline, e.k, sc)
+	e.res.EnergyJoules = measureEnergy(s.SoC, e.res.Timeline, e.now, sc)
+	res := e.res
 	sort.Slice(res.Timeline, func(a, b int) bool {
 		if res.Timeline[a].Start != res.Timeline[b].Start {
 			return res.Timeline[a].Start < res.Timeline[b].Start
 		}
 		return res.Timeline[a].Stage < res.Timeline[b].Stage
 	})
-	publishExecMetrics(opts.Metrics, res)
-	return res, nil
+	return nil
 }
 
 // publishExecMetrics folds one successful run into the registry. The nil
@@ -436,9 +519,13 @@ func requestMemory(s *Schedule, i int) int64 {
 
 // measureEnergy prices the run: the timeline's per-processor busy profile
 // rolled up through the SoC's energy model (busy time at busy power, the
-// rest of the makespan at idle power; see soc.SoC.EnergyRollup).
-func measureEnergy(s *soc.SoC, timeline []SliceExec, makespan time.Duration) float64 {
-	busy := make([]time.Duration, s.NumProcessors())
+// rest of the makespan at idle power; see soc.SoC.EnergyRollup). The busy
+// accumulator reuses scratch instead of allocating per call.
+func measureEnergy(s *soc.SoC, timeline []SliceExec, makespan time.Duration, sc *execScratch) float64 {
+	busy := sc.busyDur
+	for i := range busy {
+		busy[i] = 0
+	}
 	for _, e := range timeline {
 		busy[e.Stage] += e.End - e.Start
 	}
@@ -446,27 +533,26 @@ func measureEnergy(s *soc.SoC, timeline []SliceExec, makespan time.Duration) flo
 }
 
 // measureBubbles sums each busy processor's idle gaps between its first and
-// last activity — the executed realisation of the Eq. (3) bubbles.
-func measureBubbles(timeline []SliceExec, stages int) time.Duration {
-	type span struct{ start, end time.Duration }
-	perStage := make([][]span, stages)
-	for _, e := range timeline {
-		perStage[e.Stage] = append(perStage[e.Stage], span{e.Start, e.End})
+// last activity — the executed realisation of the Eq. (3) bubbles. It runs
+// in one pass over the pre-sort timeline: each processor executes serially,
+// so its slices appear in start order already and a per-stage cursor finds
+// every gap without materialising (or sorting) per-stage span lists. The
+// duration sums are integer arithmetic, so the total is identical to the
+// sort-based reference accounting.
+func measureBubbles(timeline []SliceExec, stages int, sc *execScratch) time.Duration {
+	lastEnd, started := sc.lastEnd, sc.started
+	for st := 0; st < stages; st++ {
+		lastEnd[st] = 0
+		started[st] = false
 	}
 	var total time.Duration
-	for _, spans := range perStage {
-		if len(spans) == 0 {
-			continue
+	for _, e := range timeline {
+		if started[e.Stage] && e.Start > lastEnd[e.Stage] {
+			total += e.Start - lastEnd[e.Stage]
 		}
-		sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
-		cursor := spans[0].end
-		for _, sp := range spans[1:] {
-			if sp.start > cursor {
-				total += sp.start - cursor
-			}
-			if sp.end > cursor {
-				cursor = sp.end
-			}
+		started[e.Stage] = true
+		if e.End > lastEnd[e.Stage] {
+			lastEnd[e.Stage] = e.End
 		}
 	}
 	return total

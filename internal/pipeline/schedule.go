@@ -142,10 +142,18 @@ func (s *Schedule) Bubbles() time.Duration {
 // Clone deep-copies the schedule's stage ranges (profiles and SoC are
 // shared, immutable).
 func (s *Schedule) Clone() *Schedule {
+	// One flat backing array for all rows (the planner clones schedules in
+	// its inner candidate loops, so Clone is two allocations, not m+1).
+	total := 0
+	for _, row := range s.Stages {
+		total += len(row)
+	}
+	flat := make([]LayerRange, 0, total)
 	stages := make([][]LayerRange, len(s.Stages))
 	for i, row := range s.Stages {
-		stages[i] = make([]LayerRange, len(row))
-		copy(stages[i], row)
+		n := len(flat)
+		flat = append(flat, row...)
+		stages[i] = flat[n:len(flat):len(flat)]
 	}
 	return &Schedule{SoC: s.SoC, Profiles: s.Profiles, Stages: stages}
 }

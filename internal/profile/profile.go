@@ -104,11 +104,11 @@ func FromTables(s *soc.SoC, m *model.Model, reuse []*Table) (*Profile, error) {
 	if reuse != nil && len(reuse) != s.NumProcessors() {
 		return nil, fmt.Errorf("profile: %d reusable tables for %d processors", len(reuse), s.NumProcessors())
 	}
-	n := m.NumLayers()
+	n, numK := m.NumLayers(), s.NumProcessors()
 	p := &Profile{
 		soc:          s,
 		model:        m,
-		tables:       make([]*Table, s.NumProcessors()),
+		tables:       make([]*Table, numK),
 		weightPrefix: make([]int64, n+1),
 	}
 	acts := make([]int64, n)
@@ -121,12 +121,39 @@ func FromTables(s *soc.SoC, m *model.Model, reuse []*Table) (*Profile, error) {
 		acts[i] = a
 	}
 	p.actMax = newSparseMax(acts)
-	for k := range s.Processors {
-		if reuse != nil && reuse[k] != nil {
-			p.tables[k] = reuse[k]
-			continue
+	// Slab-allocate the freshly-measured tables: one Table array and one
+	// backing array per prefix kind, shared across all measured processors,
+	// instead of four allocations per table. Reused tables keep their own
+	// backing (the slab only covers the nil slots).
+	fresh := 0
+	for k := 0; k < numK; k++ {
+		if reuse == nil || reuse[k] == nil {
+			fresh++
 		}
-		p.tables[k] = measureTable(&s.Processors[k], m)
+	}
+	if fresh > 0 {
+		slab := make([]Table, fresh)
+		times := make([]time.Duration, fresh*(n+1))
+		buses := make([]float64, fresh*(n+1))
+		unsups := make([]int, fresh*(n+1))
+		next := 0
+		for k := range s.Processors {
+			if reuse != nil && reuse[k] != nil {
+				p.tables[k] = reuse[k]
+				continue
+			}
+			t := &slab[next]
+			lo, hi := next*(n+1), (next+1)*(n+1)
+			t.proc = &s.Processors[k]
+			t.timePrefix = times[lo:hi:hi]
+			t.busPrefix = buses[lo:hi:hi]
+			t.unsupPrefix = unsups[lo:hi:hi]
+			measureTableInto(t, m)
+			p.tables[k] = t
+			next++
+		}
+	} else {
+		copy(p.tables, reuse)
 	}
 	return p, nil
 }
@@ -141,6 +168,14 @@ func measureTable(proc *soc.Processor, m *model.Model) *Table {
 		busPrefix:   make([]float64, n+1),
 		unsupPrefix: make([]int, n+1),
 	}
+	measureTableInto(t, m)
+	return t
+}
+
+// measureTableInto fills a pre-allocated table (proc set, prefix slices
+// sized n+1) with the model's prefix-summed solo costs.
+func measureTableInto(t *Table, m *model.Model) {
+	proc := t.proc
 	for i, l := range m.Layers {
 		lt := proc.LayerTime(l)
 		unsup := 0
@@ -152,7 +187,6 @@ func measureTable(proc *soc.Processor, m *model.Model) *Table {
 		t.busPrefix[i+1] = t.busPrefix[i] + proc.BusTrafficBytes(l)
 		t.unsupPrefix[i+1] = t.unsupPrefix[i] + unsup
 	}
-	return t
 }
 
 // SoC returns the profiled SoC.
@@ -237,10 +271,13 @@ func (p *Profile) BoundaryBytes(j int) int64 {
 }
 
 // sparseMax answers range-max queries over int64 values in O(1) after
-// O(n log n) preprocessing.
+// O(n log n) preprocessing. All levels live in one flat backing array
+// (level lvl spans flat[offs[lvl] : offs[lvl]+n-2^lvl+1]) so construction
+// costs three allocations regardless of depth.
 type sparseMax struct {
-	table [][]int64
-	logs  []int
+	flat []int64
+	offs []int
+	logs []int
 }
 
 func newSparseMax(vals []int64) *sparseMax {
@@ -253,28 +290,32 @@ func newSparseMax(vals []int64) *sparseMax {
 	if n > 0 {
 		levels = logs[n] + 1
 	}
-	table := make([][]int64, levels)
-	table[0] = make([]int64, n)
-	copy(table[0], vals)
+	offs := make([]int, levels+1)
+	for lvl := 0; lvl < levels; lvl++ {
+		offs[lvl+1] = offs[lvl] + n - 1<<lvl + 1
+	}
+	flat := make([]int64, offs[levels])
+	copy(flat[:n], vals)
 	for lvl := 1; lvl < levels; lvl++ {
 		span := 1 << lvl
-		table[lvl] = make([]int64, n-span+1)
+		prev, cur := flat[offs[lvl-1]:offs[lvl]], flat[offs[lvl]:offs[lvl+1]]
 		for i := 0; i+span <= n; i++ {
-			a, b := table[lvl-1][i], table[lvl-1][i+span/2]
+			a, b := prev[i], prev[i+span/2]
 			if b > a {
 				a = b
 			}
-			table[lvl][i] = a
+			cur[i] = a
 		}
 	}
-	return &sparseMax{table: table, logs: logs}
+	return &sparseMax{flat: flat, offs: offs, logs: logs}
 }
 
 // Max returns the maximum over indices [i, j] (inclusive); both must be in
 // range and i ≤ j.
 func (s *sparseMax) Max(i, j int) int64 {
 	lvl := s.logs[j-i+1]
-	a, b := s.table[lvl][i], s.table[lvl][j-(1<<lvl)+1]
+	base := s.offs[lvl]
+	a, b := s.flat[base+i], s.flat[base+j-(1<<lvl)+1]
 	if b > a {
 		a = b
 	}

@@ -51,7 +51,8 @@ func (g *Generator) Combos(n int) [][]string {
 	return out
 }
 
-// Instantiate builds fresh model instances for a combination.
+// Instantiate resolves a combination's names to the shared zoo instances.
+// The returned models are cached and immutable — Clone before mutating.
 func Instantiate(names []string) ([]*model.Model, error) {
 	out := make([]*model.Model, len(names))
 	for i, n := range names {
